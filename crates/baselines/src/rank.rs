@@ -1,0 +1,108 @@
+//! Numerical matrix rank via Gaussian elimination with partial pivoting,
+//! used by the HRank criterion (the original uses SVD; for rank counting
+//! row reduction with a relative tolerance is equivalent and
+//! dependency-free).
+
+use cap_tensor::Tensor;
+
+/// Estimates the rank of a `[rows, cols]` matrix.
+///
+/// The tolerance is relative to the largest absolute entry; an all-zero
+/// matrix has rank 0. Non-2-D tensors are treated as a single row.
+pub fn matrix_rank(m: &Tensor, rel_tol: f64) -> usize {
+    let (rows, cols) = if m.ndim() == 2 {
+        (m.dim(0), m.dim(1))
+    } else {
+        (1, m.numel())
+    };
+    if rows == 0 || cols == 0 {
+        return 0;
+    }
+    let mut a: Vec<f64> = m.data().iter().map(|&v| f64::from(v)).collect();
+    let max_abs = a.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    if max_abs == 0.0 {
+        return 0;
+    }
+    let tol = rel_tol.max(f64::EPSILON) * max_abs;
+    let mut rank = 0usize;
+    let mut pivot_row = 0usize;
+    for col in 0..cols {
+        if pivot_row >= rows {
+            break;
+        }
+        // Partial pivot: largest |entry| in this column at/below pivot_row.
+        let mut best = pivot_row;
+        for r in pivot_row + 1..rows {
+            if a[r * cols + col].abs() > a[best * cols + col].abs() {
+                best = r;
+            }
+        }
+        if a[best * cols + col].abs() <= tol {
+            continue;
+        }
+        if best != pivot_row {
+            for c in 0..cols {
+                a.swap(pivot_row * cols + c, best * cols + c);
+            }
+        }
+        let pivot = a[pivot_row * cols + col];
+        for r in pivot_row + 1..rows {
+            let factor = a[r * cols + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..cols {
+                a[r * cols + c] -= factor * a[pivot_row * cols + c];
+            }
+        }
+        pivot_row += 1;
+        rank += 1;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_matrix_has_rank_zero() {
+        assert_eq!(matrix_rank(&Tensor::zeros(&[3, 3]), 1e-6), 0);
+    }
+
+    #[test]
+    fn identity_has_full_rank() {
+        let mut m = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            m.set2(i, i, 1.0);
+        }
+        assert_eq!(matrix_rank(&m, 1e-6), 4);
+    }
+
+    #[test]
+    fn duplicated_rows_reduce_rank() {
+        let m = Tensor::from_vec(
+            vec![3, 3],
+            vec![1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 0.0, 1.0, 0.0],
+        )
+        .unwrap();
+        assert_eq!(matrix_rank(&m, 1e-6), 2);
+    }
+
+    #[test]
+    fn rank_one_outer_product() {
+        // m[i][j] = u[i]*v[j]
+        let u = [1.0f32, -2.0, 0.5];
+        let v = [3.0f32, 1.0, 2.0, -1.0];
+        let m = Tensor::from_fn(&[3, 4], |k| u[k / 4] * v[k % 4]);
+        assert_eq!(matrix_rank(&m, 1e-5), 1);
+    }
+
+    #[test]
+    fn wide_and_tall_matrices() {
+        let wide = Tensor::from_fn(&[2, 5], |i| (i as f32 + 1.0).sin());
+        assert!(matrix_rank(&wide, 1e-6) <= 2);
+        let tall = Tensor::from_fn(&[5, 2], |i| (i as f32 + 1.0).cos());
+        assert!(matrix_rank(&tall, 1e-6) <= 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! The shared iterative schedule under which every baseline criterion is
+//! run: prune the lowest-scoring fraction → fine-tune → repeat. This
+//! mirrors the class-aware framework so Fig. 6's comparison contrasts the
+//! *criteria*, not the schedules.
+
+use crate::FilterCriterion;
+use cap_core::{
+    analyze_network, apply_site_pruning, find_prunable_sites, select_filters, FlopsReport,
+    PruneError, PruneStrategy,
+};
+use cap_data::Dataset;
+use cap_nn::{evaluate, fit, Network, TrainConfig};
+
+/// Schedule configuration for a baseline pruning run.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineConfig {
+    /// Fraction of all filters removed per iteration.
+    pub fraction_per_iter: f64,
+    /// Number of prune → fine-tune iterations.
+    pub iterations: usize,
+    /// Fine-tuning settings; the regulariser is overridden by the
+    /// criterion's [`FilterCriterion::train_regularizer`].
+    pub finetune: TrainConfig,
+    /// Batch size for evaluation.
+    pub eval_batch: usize,
+    /// Seed forwarded to data-driven criteria.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            fraction_per_iter: 0.1,
+            iterations: 5,
+            finetune: TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+            eval_batch: 64,
+            seed: 0xBA5E,
+        }
+    }
+}
+
+/// Result of a baseline pruning run, with the same headline metrics as
+/// the class-aware outcome.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// The criterion's display name.
+    pub method: String,
+    /// Test accuracy before pruning.
+    pub baseline_accuracy: f64,
+    /// Test accuracy after the full schedule.
+    pub final_accuracy: f64,
+    /// Cost before pruning.
+    pub baseline_cost: FlopsReport,
+    /// Cost after pruning.
+    pub final_cost: FlopsReport,
+}
+
+impl BaselineOutcome {
+    /// Relative parameter reduction.
+    pub fn pruning_ratio(&self) -> f64 {
+        self.final_cost.param_reduction_vs(&self.baseline_cost)
+    }
+
+    /// Relative FLOPs reduction.
+    pub fn flops_reduction(&self) -> f64 {
+        self.final_cost.flops_reduction_vs(&self.baseline_cost)
+    }
+
+    /// Accuracy drop (positive = worse than baseline).
+    pub fn accuracy_drop(&self) -> f64 {
+        self.baseline_accuracy - self.final_accuracy
+    }
+}
+
+/// Runs `criterion` under the shared schedule, mutating `net` in place.
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidConfig`] for a degenerate schedule and
+/// propagates scoring/surgery/training errors.
+pub fn run_baseline(
+    criterion: &mut dyn FilterCriterion,
+    net: &mut Network,
+    train: &Dataset,
+    test: &Dataset,
+    cfg: &BaselineConfig,
+) -> Result<BaselineOutcome, PruneError> {
+    if !(cfg.fraction_per_iter > 0.0 && cfg.fraction_per_iter < 1.0) {
+        return Err(PruneError::InvalidConfig {
+            reason: format!(
+                "fraction_per_iter {} must lie in (0,1)",
+                cfg.fraction_per_iter
+            ),
+        });
+    }
+    if cfg.iterations == 0 || cfg.eval_batch == 0 {
+        return Err(PruneError::InvalidConfig {
+            reason: "iterations and eval_batch must be non-zero".to_string(),
+        });
+    }
+    let shape = train.images().shape();
+    let (in_c, in_h, in_w) = (shape[1], shape[2], shape[3]);
+    let baseline_accuracy = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
+    let baseline_cost = analyze_network(net, in_c, in_h, in_w)?;
+    let strategy = PruneStrategy::Percentage {
+        fraction: cfg.fraction_per_iter,
+    };
+    let finetune = TrainConfig {
+        regularizer: criterion.train_regularizer(),
+        ..cfg.finetune
+    };
+    for it in 0..cfg.iterations {
+        let sites = find_prunable_sites(net);
+        let scores = criterion.score(net, &sites, train, cfg.seed.wrapping_add(it as u64))?;
+        let selection = select_filters(&scores, &strategy)?;
+        if selection.is_empty() {
+            break;
+        }
+        for (si, site) in sites.iter().enumerate() {
+            if selection.remove[si].is_empty() {
+                continue;
+            }
+            let keep = selection.keep_for(si, scores.sites[si].scores.len());
+            apply_site_pruning(net, site, &keep)?;
+        }
+        fit(net, train.images(), train.labels(), &finetune)?;
+    }
+    let final_accuracy = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
+    let final_cost = analyze_network(net, in_c, in_h, in_w)?;
+    Ok(BaselineOutcome {
+        method: criterion.name().to_string(),
+        baseline_accuracy,
+        final_accuracy,
+        baseline_cost,
+        final_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::L1Criterion;
+    use cap_data::{DatasetSpec, SyntheticDataset};
+    use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
+    use rand::SeedableRng;
+
+    fn quick() -> (Network, SyntheticDataset) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut net = Network::new();
+        net.push(Conv2d::new(3, 10, 3, 1, 1, false, &mut rng).unwrap());
+        net.push(BatchNorm2d::new(10).unwrap());
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(10, 10, &mut rng).unwrap());
+        let data = SyntheticDataset::generate(
+            &DatasetSpec::cifar10_like()
+                .with_image_size(8)
+                .with_counts(8, 2),
+        )
+        .unwrap();
+        (net, data)
+    }
+
+    #[test]
+    fn schedule_prunes_and_reports() {
+        let (mut net, data) = quick();
+        let cfg = BaselineConfig {
+            fraction_per_iter: 0.2,
+            iterations: 2,
+            finetune: TrainConfig {
+                epochs: 1,
+                batch_size: 16,
+                ..TrainConfig::default()
+            },
+            ..BaselineConfig::default()
+        };
+        let out = run_baseline(
+            &mut L1Criterion::new(),
+            &mut net,
+            data.train(),
+            data.test(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(out.method, "L1");
+        assert!(out.pruning_ratio() > 0.0);
+        assert!(out.flops_reduction() > 0.0);
+        assert!(out.final_cost.total_params < out.baseline_cost.total_params);
+    }
+
+    #[test]
+    fn config_validation() {
+        let (mut net, data) = quick();
+        let bad = BaselineConfig {
+            fraction_per_iter: 0.0,
+            ..BaselineConfig::default()
+        };
+        assert!(run_baseline(
+            &mut L1Criterion::new(),
+            &mut net,
+            data.train(),
+            data.test(),
+            &bad
+        )
+        .is_err());
+        let bad2 = BaselineConfig {
+            iterations: 0,
+            ..BaselineConfig::default()
+        };
+        assert!(run_baseline(
+            &mut L1Criterion::new(),
+            &mut net,
+            data.train(),
+            data.test(),
+            &bad2
+        )
+        .is_err());
+    }
+}

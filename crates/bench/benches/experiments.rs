@@ -1,0 +1,82 @@
+//! One Criterion bench per paper table/figure, running the same harness
+//! as the experiment binaries at smoke scale. These benches double as
+//! end-to-end regression tests: `cargo bench` re-derives every reported
+//! artefact.
+
+use cap_bench::{
+    run_fig4, run_fig6, run_fig7, run_fig8, run_table1, run_table2, run_table3, Arch, DataKind,
+    ExperimentScale,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// An even tighter variant of the smoke scale so a full `cargo bench`
+/// (10 Criterion samples x 7 experiments) stays in the minutes range.
+fn smoke() -> ExperimentScale {
+    ExperimentScale {
+        train_per_class: 6,
+        test_per_class: 2,
+        train_per_class_100: 2,
+        test_per_class_100: 1,
+        pretrain_epochs: 1,
+        finetune_epochs: 1,
+        max_iterations: 1,
+        images_per_class: 4,
+        ..ExperimentScale::smoke()
+    }
+}
+
+fn table1_pipeline(c: &mut Criterion) {
+    c.bench_function("table1_pipeline", |b| {
+        b.iter(|| run_table1(black_box(&smoke())).unwrap())
+    });
+}
+
+fn table2_strategies(c: &mut Criterion) {
+    c.bench_function("table2_strategies", |b| {
+        b.iter(|| run_table2(black_box(&smoke())).unwrap())
+    });
+}
+
+fn table3_regularizers(c: &mut Criterion) {
+    c.bench_function("table3_regularizers", |b| {
+        b.iter(|| run_table3(black_box(&smoke())).unwrap())
+    });
+}
+
+fn fig4_score_distribution(c: &mut Criterion) {
+    c.bench_function("fig4_score_distribution", |b| {
+        b.iter(|| run_fig4(black_box(&smoke())).unwrap())
+    });
+}
+
+fn fig6_baselines(c: &mut Criterion) {
+    c.bench_function("fig6_baselines", |b| {
+        b.iter(|| run_fig6(Arch::Vgg16, DataKind::C10, black_box(&smoke())).unwrap())
+    });
+}
+
+fn fig7_layerwise_scores(c: &mut Criterion) {
+    c.bench_function("fig7_layerwise_scores", |b| {
+        b.iter(|| run_fig7(black_box(&smoke())).unwrap())
+    });
+}
+
+fn fig8_regularizer_distribution(c: &mut Criterion) {
+    c.bench_function("fig8_regularizer_distribution", |b| {
+        b.iter(|| run_fig8(black_box(&smoke())).unwrap())
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(20)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = table1_pipeline,
+        table2_strategies,
+        table3_regularizers,
+        fig4_score_distribution,
+        fig6_baselines,
+        fig7_layerwise_scores,
+        fig8_regularizer_distribution
+);
+criterion_main!(experiments);

@@ -1,0 +1,102 @@
+//! Kernel-level benches: the primitives every experiment rests on
+//! (convolution forward/backward, matmul, Toeplitz construction,
+//! importance scoring, channel surgery).
+
+use cap_core::{evaluate_scores, find_prunable_sites, ScoreConfig};
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
+use cap_nn::Network;
+use cap_tensor::{matmul, toeplitz::toeplitz_matrix, Conv2dGeometry, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = Tensor::from_fn(&[64, 128], |i| (i as f32 * 0.01).sin());
+    let b = Tensor::from_fn(&[128, 64], |i| (i as f32 * 0.02).cos());
+    c.bench_function("matmul_64x128x64", |bench| {
+        bench.iter(|| matmul(black_box(&a), black_box(&b)).unwrap())
+    });
+}
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let mut conv = Conv2d::new(16, 32, 3, 1, 1, false, &mut rng()).unwrap();
+    let x = cap_tensor::randn(&[4, 16, 16, 16], 0.0, 1.0, &mut rng());
+    c.bench_function("conv2d_forward_4x16x16x16", |bench| {
+        bench.iter(|| conv.forward(black_box(&x)).unwrap())
+    });
+    let y = conv.forward(&x).unwrap();
+    let g = Tensor::ones(y.shape());
+    c.bench_function("conv2d_backward_4x16x16x16", |bench| {
+        bench.iter(|| {
+            conv.zero_grad();
+            conv.backward(black_box(&g)).unwrap()
+        })
+    });
+}
+
+fn bench_toeplitz(c: &mut Criterion) {
+    let w = cap_tensor::randn(&[8, 4, 3, 3], 0.0, 1.0, &mut rng());
+    let geom = Conv2dGeometry::new(4, 8, 3, 1, 1, 12, 12).unwrap();
+    c.bench_function("toeplitz_matrix_8x4x3x3_12x12", |bench| {
+        bench.iter(|| toeplitz_matrix(black_box(&w), black_box(&geom)).unwrap())
+    });
+}
+
+fn scoring_setup() -> (Network, SyntheticDataset) {
+    let mut r = rng();
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 16, 3, 1, 1, false, &mut r).unwrap());
+    net.push(BatchNorm2d::new(16).unwrap());
+    net.push(Relu::new());
+    net.push(Conv2d::new(16, 16, 3, 1, 1, false, &mut r).unwrap());
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(16, 10, &mut r).unwrap());
+    let data = SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(8)
+            .with_counts(10, 2),
+    )
+    .unwrap();
+    (net, data)
+}
+
+fn bench_importance_scoring(c: &mut Criterion) {
+    let (mut net, data) = scoring_setup();
+    let sites = find_prunable_sites(&net);
+    let cfg = ScoreConfig {
+        images_per_class: 6,
+        ..ScoreConfig::default()
+    };
+    c.bench_function("class_aware_scoring_2sites_10classes", |bench| {
+        bench.iter(|| evaluate_scores(&mut net, black_box(&sites), data.train(), &cfg).unwrap())
+    });
+}
+
+fn bench_channel_surgery(c: &mut Criterion) {
+    c.bench_function("retain_output_channels_32to16", |bench| {
+        bench.iter_with_setup(
+            || Conv2d::new(16, 32, 3, 1, 1, false, &mut rng()).unwrap(),
+            |mut conv| {
+                let keep: Vec<usize> = (0..32).step_by(2).collect();
+                conv.retain_output_channels(&keep).unwrap();
+                conv
+            },
+        )
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_matmul,
+        bench_conv_forward_backward,
+        bench_toeplitz,
+        bench_importance_scoring,
+        bench_channel_surgery
+);
+criterion_main!(kernels);

@@ -1,0 +1,84 @@
+//! Calibration utility: sweeps the site-relative Taylor binarisation
+//! factor α and prints the resulting class-count score distribution of a
+//! trained VGG16-C10, so the experiment default can be chosen where the
+//! distribution is informative (spread over the full 0..classes range,
+//! as in the paper's Fig. 4/8) rather than saturated.
+//!
+//! Usage: `cargo run -p cap-bench --release --bin calibrate_tau [--small]`
+
+use cap_bench::{build_dataset, build_model, pretrain, Arch, DataKind, ExperimentScale};
+use cap_core::{evaluate_scores, find_prunable_sites, ScoreConfig, ScoreHistogram, TauMode};
+use cap_nn::RegularizerConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--epochs") {
+        if let Some(e) = args.get(pos + 1).and_then(|v| v.parse().ok()) {
+            scale.pretrain_epochs = e;
+        }
+    }
+    let kind = if args.iter().any(|a| a == "--c100") {
+        DataKind::C100
+    } else {
+        DataKind::C10
+    };
+    let arch = if args.iter().any(|a| a == "--resnet") {
+        Arch::ResNet56
+    } else if args.iter().any(|a| a == "--vgg19") {
+        Arch::Vgg19
+    } else {
+        Arch::Vgg16
+    };
+    let data = build_dataset(kind, &scale)?;
+    let net = build_model(arch, kind, &scale)?;
+    let mut prepared = pretrain(net, &data, &scale, RegularizerConfig::paper())?;
+    println!(
+        "{}-{} baseline accuracy {:.1}% after {} epochs",
+        arch.name(),
+        kind.name(),
+        prepared.baseline_accuracy * 100.0,
+        scale.pretrain_epochs
+    );
+    let threshold = cap_core::threshold_for_classes(kind.classes());
+    let sites = find_prunable_sites(&prepared.net);
+    for alpha in [0.5, 1.0, 2.0, 3.0, 4.0, 6.0] {
+        let scores = evaluate_scores(
+            &mut prepared.net,
+            &sites,
+            data.train(),
+            &ScoreConfig {
+                images_per_class: scale.images_per_class,
+                tau: TauMode::SiteRelative(alpha),
+                ..ScoreConfig::default()
+            },
+        )?;
+        let h = ScoreHistogram::from_scores(&scores);
+        let below = scores
+            .iter_scores()
+            .filter(|&(_, _, v)| v < threshold)
+            .count();
+        println!(
+            "\nalpha = {alpha}: mean {:.2}, {}/{} filters below threshold {threshold}",
+            scores.mean(),
+            below,
+            scores.total_filters()
+        );
+        if kind == DataKind::C10 {
+            print!("{}", h.render_ascii(40));
+        } else {
+            // 100 bins is noisy; print decile summary instead.
+            let counts = h.counts();
+            for decile in 0..10 {
+                let sum: usize = counts[decile * 10..(decile + 1) * 10].iter().sum();
+                println!("{:>3}-{:<3} | {}", decile * 10, (decile + 1) * 10 - 1, sum);
+            }
+            println!("  100   | {}", counts[100]);
+        }
+    }
+    Ok(())
+}

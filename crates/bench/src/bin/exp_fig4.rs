@@ -1,0 +1,87 @@
+//! Regenerates Fig. 4: single-layer filter importance-score histograms
+//! before and after pruning (VGG16-C10 conv1, VGG19-C100 conv3, a
+//! mid-network ResNet56 layer).
+//!
+//! With `--sweep-m` it instead verifies the paper's claim that scoring
+//! with more than 10 images per class barely changes the scores
+//! (Sec. IV: "by evaluating more than 10 images the importance scores of
+//! filters are almost the same with those with 10 images").
+//!
+//! Usage: `cargo run -p cap-bench --release --bin exp_fig4 [--small|--smoke] [--sweep-m]`
+
+use cap_bench::{
+    build_dataset, build_model, pretrain, render_fig4, run_fig4, Arch, DataKind, ExperimentScale,
+};
+use cap_core::{evaluate_scores, find_prunable_sites, ScoreConfig};
+use cap_nn::RegularizerConfig;
+
+fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    }
+}
+
+fn sweep_m(scale: &ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
+    let data = build_dataset(DataKind::C10, scale)?;
+    let net = build_model(Arch::Vgg16, DataKind::C10, scale)?;
+    let mut prepared = pretrain(net, &data, scale, RegularizerConfig::paper())?;
+    let sites = find_prunable_sites(&prepared.net);
+    let score_at = |net: &mut cap_nn::Network, m: usize| {
+        evaluate_scores(
+            net,
+            &sites,
+            data.train(),
+            &ScoreConfig {
+                images_per_class: m,
+                tau: scale.tau,
+                ..ScoreConfig::default()
+            },
+        )
+    };
+    let reference = score_at(&mut prepared.net, 10)?;
+    println!("M (images/class) | mean score | max |Δ| vs M=10 | mean |Δ| vs M=10");
+    for m in [2usize, 5, 8, 10, 15, 20] {
+        let scores = score_at(&mut prepared.net, m)?;
+        let mut max_dev = 0.0f64;
+        let mut sum_dev = 0.0f64;
+        let mut n = 0usize;
+        for ((_, _, a), (_, _, b)) in scores.iter_scores().zip(reference.iter_scores()) {
+            let d = (a - b).abs();
+            max_dev = max_dev.max(d);
+            sum_dev += d;
+            n += 1;
+        }
+        println!(
+            "{m:>16} | {:>10.3} | {:>14.3} | {:>15.4}",
+            scores.mean(),
+            max_dev,
+            sum_dev / n.max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let scale = scale_from_args();
+    if std::env::args().any(|a| a == "--sweep-m") {
+        eprintln!("running the M-stability sweep at scale {scale:?}");
+        if let Err(e) = sweep_m(&scale) {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    eprintln!("running Fig. 4 at scale {scale:?}");
+    match run_fig4(&scale) {
+        Ok(results) => print!("{}", render_fig4(&results)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 6: the comparison of the class-aware method against
+//! L1, SSS, HRank, TPP, OrthConv, DepGraph (full/no grouping) and the
+//! class-agnostic Taylor criterion, all under the same schedule on the
+//! same pre-trained weights.
+//!
+//! Usage: `cargo run -p cap-bench --release --bin exp_fig6 [--small|--smoke] [--resnet]`
+
+use cap_bench::{render_fig6, run_fig6, Arch, DataKind, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    };
+    let (arch, kind) = if args.iter().any(|a| a == "--resnet") {
+        (Arch::ResNet56, DataKind::C10)
+    } else {
+        (Arch::Vgg16, DataKind::C10)
+    };
+    eprintln!(
+        "running Fig. 6 on {}-{} at scale {scale:?}",
+        arch.name(),
+        kind.name()
+    );
+    match run_fig6(arch, kind, &scale) {
+        Ok(rows) => print!(
+            "{}",
+            render_fig6(&format!("{}-{}", arch.name(), kind.name()), &rows)
+        ),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

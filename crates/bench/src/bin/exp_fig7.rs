@@ -1,0 +1,29 @@
+//! Regenerates Fig. 7: average importance scores of filters before and
+//! after pruning, per layer, for the four model/dataset pairs.
+//!
+//! Usage: `cargo run -p cap-bench --release --bin exp_fig7 [--small|--smoke]`
+
+use cap_bench::{render_fig7, run_fig7, ExperimentScale};
+
+fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running Fig. 7 at scale {scale:?}");
+    match run_fig7(&scale) {
+        Ok(results) => print!("{}", render_fig7(&results)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 8: the filter importance-score distribution of
+//! VGG16-C10 after training under each regulariser variant (none, L1,
+//! L_orth, L1+L_orth), demonstrating the polarisation the combination
+//! produces.
+//!
+//! Usage: `cargo run -p cap-bench --release --bin exp_fig8 [--small|--smoke]`
+
+use cap_bench::{render_fig8, run_fig8, ExperimentScale};
+
+fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running Fig. 8 at scale {scale:?}");
+    match run_fig8(&scale) {
+        Ok(rows) => print!("{}", render_fig8(&rows)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates Table I of the paper: pruning results (accuracy, pruning
+//! ratio, FLOPs reduction) for VGG16-C10, VGG19-C100, ResNet56-C10 and
+//! ResNet56-C100 under the full class-aware pipeline.
+//!
+//! Usage: `cargo run -p cap-bench --release --bin exp_table1 [--small|--smoke]`
+
+use cap_bench::{render_table1, run_table1, ExperimentScale};
+
+fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running Table I at scale {scale:?}");
+    match run_table1(&scale) {
+        Ok(rows) => print!("{}", render_table1(&rows)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

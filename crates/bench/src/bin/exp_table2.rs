@@ -1,0 +1,29 @@
+//! Regenerates Table II: ResNet56-CIFAR10 under the percentage-only,
+//! threshold-only and combined pruning strategies.
+//!
+//! Usage: `cargo run -p cap-bench --release --bin exp_table2 [--small|--smoke]`
+
+use cap_bench::{render_table2, run_table2, ExperimentScale};
+
+fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running Table II at scale {scale:?}");
+    match run_table2(&scale) {
+        Ok(rows) => print!("{}", render_table2(&rows)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table III: the cost-function ablation (no regulariser,
+//! L1, L_orth, L1+L_orth) on VGG16-C10 and ResNet56-C10.
+//!
+//! Usage: `cargo run -p cap-bench --release --bin exp_table3 [--small|--smoke]`
+
+use cap_bench::{render_table3, run_table3, ExperimentScale};
+
+fn scale_from_args() -> ExperimentScale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("running Table III at scale {scale:?}");
+    match run_table3(&scale) {
+        Ok(rows) => print!("{}", render_table3(&rows)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

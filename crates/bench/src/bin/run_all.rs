@@ -1,0 +1,76 @@
+//! Runs every experiment (Tables I-III, Figures 4, 6, 7, 8) at the
+//! requested scale and prints all paper-style outputs in sequence.
+//!
+//! Usage: `cargo run -p cap-bench --release --bin run_all [--small|--smoke]`
+
+use cap_bench::{
+    render_fig4, render_fig6, render_fig7, render_fig8, render_table1, render_table2,
+    render_table3, run_fig4, run_fig6, run_fig7, run_fig8, run_table1, run_table2, run_table3,
+    Arch, DataKind, ExperimentScale,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        ExperimentScale::smoke()
+    } else if args.iter().any(|a| a == "--small") {
+        ExperimentScale::small()
+    } else {
+        ExperimentScale::full()
+    };
+    eprintln!("running all experiments at scale {scale:?}");
+    let mut failed = false;
+
+    match run_table1(&scale) {
+        Ok(rows) => println!("{}", render_table1(&rows)),
+        Err(e) => {
+            eprintln!("Table I failed: {e}");
+            failed = true;
+        }
+    }
+    match run_table2(&scale) {
+        Ok(rows) => println!("{}", render_table2(&rows)),
+        Err(e) => {
+            eprintln!("Table II failed: {e}");
+            failed = true;
+        }
+    }
+    match run_table3(&scale) {
+        Ok(rows) => println!("{}", render_table3(&rows)),
+        Err(e) => {
+            eprintln!("Table III failed: {e}");
+            failed = true;
+        }
+    }
+    match run_fig4(&scale) {
+        Ok(results) => println!("{}", render_fig4(&results)),
+        Err(e) => {
+            eprintln!("Fig. 4 failed: {e}");
+            failed = true;
+        }
+    }
+    match run_fig6(Arch::Vgg16, DataKind::C10, &scale) {
+        Ok(rows) => println!("{}", render_fig6("VGG16-CIFAR10", &rows)),
+        Err(e) => {
+            eprintln!("Fig. 6 failed: {e}");
+            failed = true;
+        }
+    }
+    match run_fig7(&scale) {
+        Ok(results) => println!("{}", render_fig7(&results)),
+        Err(e) => {
+            eprintln!("Fig. 7 failed: {e}");
+            failed = true;
+        }
+    }
+    match run_fig8(&scale) {
+        Ok(rows) => println!("{}", render_fig8(&rows)),
+        Err(e) => {
+            eprintln!("Fig. 8 failed: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

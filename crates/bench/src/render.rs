@@ -1,0 +1,177 @@
+//! Text rendering of experiment results in the layout of the paper's
+//! tables and figures.
+
+use crate::{Fig4Result, Fig6Row, Fig7Result, Fig8Row, Table1Row, Table2Row, Table3Row};
+
+fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Renders Table I.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "TABLE I - PRUNING RESULTS WITH THE PROPOSED PRUNING METHOD\n\
+         NN-Dataset              | Orig. acc | Pruned acc | Prun. ratio | FLOPs red.\n\
+         ------------------------+-----------+------------+-------------+-----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24}| {:>9} | {:>10} | {:>11} | {:>9}\n",
+            r.name,
+            pct(r.original_acc),
+            pct(r.pruned_acc),
+            pct(r.pruning_ratio),
+            pct(r.flops_reduction)
+        ));
+    }
+    out
+}
+
+/// Renders Table II.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "TABLE II - RESNET56 CIFAR10 UNDER DIFFERENT PRUNING STRATEGIES\n\
+         Pruning strategy        | Pruned acc | Drop    | Prun. ratio | FLOPs red.\n\
+         ------------------------+------------+---------+-------------+-----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24}| {:>10} | {:>+6.2}% | {:>11} | {:>9}\n",
+            r.strategy,
+            pct(r.pruned_acc),
+            r.drop * 100.0,
+            pct(r.pruning_ratio),
+            pct(r.flops_reduction)
+        ));
+    }
+    out
+}
+
+/// Renders Table III.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = String::from(
+        "TABLE III - PERFORMANCE COMPARISON WITH DIFFERENT COST FUNCTIONS\n\
+         Model                   | Reg.      | Pruned acc | Drop    | Prun. ratio | FLOPs red.\n\
+         ------------------------+-----------+------------+---------+-------------+-----------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24}| {:<10}| {:>10} | {:>+6.2}% | {:>11} | {:>9}\n",
+            r.model,
+            r.regularizer,
+            pct(r.pruned_acc),
+            r.drop * 100.0,
+            pct(r.pruning_ratio),
+            pct(r.flops_reduction)
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 4 (before/after histograms per displayed layer).
+pub fn render_fig4(results: &[Fig4Result]) -> String {
+    let mut out = String::from("FIG. 4 - FILTER IMPORTANCE SCORE DISTRIBUTIONS (single layer)\n");
+    for r in results {
+        out.push_str(&format!("\n== {} ({}) ==\n", r.name, r.layer));
+        out.push_str("-- before pruning --\n");
+        out.push_str(&r.before.render_ascii(40));
+        out.push_str("-- after pruning --\n");
+        out.push_str(&r.after.render_ascii(40));
+    }
+    out
+}
+
+/// Renders Fig. 6 (method comparison).
+pub fn render_fig6(title: &str, rows: &[Fig6Row]) -> String {
+    let mut out = format!(
+        "FIG. 6 - COMPARISON WITH PREVIOUS METHODS ({title})\n\
+         Method                  | Accuracy  | Prun. ratio | FLOPs red.\n\
+         ------------------------+-----------+-------------+-----------\n"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24}| {:>9} | {:>11} | {:>9}\n",
+            r.method,
+            pct(r.accuracy),
+            pct(r.pruning_ratio),
+            pct(r.flops_reduction)
+        ));
+    }
+    out
+}
+
+/// Renders Fig. 7 (per-layer mean scores).
+pub fn render_fig7(results: &[Fig7Result]) -> String {
+    let mut out = String::from("FIG. 7 - AVERAGE IMPORTANCE SCORES PER LAYER\n");
+    for r in results {
+        out.push_str(&format!("\n== {} ==\n", r.name));
+        out.push_str("layer               | before | after\n");
+        out.push_str("--------------------+--------+------\n");
+        for (label, before, after) in &r.layers {
+            out.push_str(&format!("{label:<20}| {before:>6.2} | {after:>5.2}\n"));
+        }
+    }
+    out
+}
+
+/// Renders Fig. 8 (distribution per regulariser variant).
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::from(
+        "FIG. 8 - IMPORTANCE SCORE DISTRIBUTION UNDER REGULARIZER VARIANTS (VGG16-C10)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "\n== {} ==  low(score<1): {:.1}%  high(max): {:.1}%  polarization: {:.1}%\n",
+            r.regularizer,
+            r.low_fraction * 100.0,
+            r.high_fraction * 100.0,
+            r.polarization * 100.0
+        ));
+        out.push_str(&r.histogram.render_ascii(40));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_core::ScoreHistogram;
+
+    #[test]
+    fn tables_render_all_rows() {
+        let rows = vec![Table1Row {
+            name: "VGG16-CIFAR10".to_string(),
+            original_acc: 0.939,
+            pruned_acc: 0.9299,
+            pruning_ratio: 0.956,
+            flops_reduction: 0.771,
+        }];
+        let text = render_table1(&rows);
+        assert!(text.contains("VGG16-CIFAR10"));
+        assert!(text.contains("93.90%"));
+        assert!(text.contains("95.60%"));
+    }
+
+    #[test]
+    fn fig_renderers_do_not_panic_on_empty() {
+        assert!(render_table2(&[]).contains("TABLE II"));
+        assert!(render_table3(&[]).contains("TABLE III"));
+        assert!(render_fig4(&[]).contains("FIG. 4"));
+        assert!(render_fig6("x", &[]).contains("FIG. 6"));
+        assert!(render_fig7(&[]).contains("FIG. 7"));
+        assert!(render_fig8(&[]).contains("FIG. 8"));
+    }
+
+    #[test]
+    fn fig8_includes_polarization() {
+        let rows = vec![Fig8Row {
+            regularizer: "L1+Lorth",
+            histogram: ScoreHistogram::from_values([0.0, 10.0].into_iter(), 10),
+            low_fraction: 0.5,
+            high_fraction: 0.5,
+            polarization: 1.0,
+        }];
+        let text = render_fig8(&rows);
+        assert!(text.contains("polarization: 100.0%"));
+    }
+}

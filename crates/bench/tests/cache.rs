@@ -1,0 +1,118 @@
+//! Tests for the pre-trained-model cache used by the experiment suite.
+
+use cap_bench::{build_dataset, pretrain_cached, Arch, DataKind, ExperimentScale};
+use cap_nn::RegularizerConfig;
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        image_size: 8,
+        train_per_class: 4,
+        test_per_class: 2,
+        pretrain_epochs: 1,
+        ..ExperimentScale::smoke()
+    }
+}
+
+#[test]
+fn cache_roundtrip_returns_identical_model() {
+    let dir = std::env::temp_dir().join(format!("cap-cache-test-{}", std::process::id()));
+    let scale = tiny_scale();
+    let data = build_dataset(DataKind::C10, &scale).expect("dataset");
+    let first = pretrain_cached(
+        Arch::Vgg16,
+        DataKind::C10,
+        &data,
+        &scale,
+        RegularizerConfig::paper(),
+        &dir,
+    )
+    .expect("first pretrain");
+    // Second call must hit the cache and return identical weights.
+    let second = pretrain_cached(
+        Arch::Vgg16,
+        DataKind::C10,
+        &data,
+        &scale,
+        RegularizerConfig::paper(),
+        &dir,
+    )
+    .expect("cached pretrain");
+    assert_eq!(first.net.num_params(), second.net.num_params());
+    assert!((first.baseline_accuracy - second.baseline_accuracy).abs() < 1e-12);
+    let mut w1 = Vec::new();
+    let mut n1 = first.net.clone();
+    n1.visit_params_mut(&mut |w, _| w1.extend_from_slice(w.data()));
+    let mut w2 = Vec::new();
+    let mut n2 = second.net.clone();
+    n2.visit_params_mut(&mut |w, _| w2.extend_from_slice(w.data()));
+    assert_eq!(w1, w2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn different_regularizers_use_different_cache_entries() {
+    let dir = std::env::temp_dir().join(format!("cap-cache-test2-{}", std::process::id()));
+    let scale = tiny_scale();
+    let data = build_dataset(DataKind::C10, &scale).expect("dataset");
+    let a = pretrain_cached(
+        Arch::Vgg16,
+        DataKind::C10,
+        &data,
+        &scale,
+        RegularizerConfig::none(),
+        &dir,
+    )
+    .expect("pretrain none");
+    let b = pretrain_cached(
+        Arch::Vgg16,
+        DataKind::C10,
+        &data,
+        &scale,
+        RegularizerConfig::paper(),
+        &dir,
+    )
+    .expect("pretrain paper");
+    // Two distinct cache files must exist.
+    let entries = std::fs::read_dir(&dir).expect("cache dir").count();
+    assert!(
+        entries >= 4,
+        "expected two .capn + two .acc files, got {entries}"
+    );
+    let _ = (a, b);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_cache_falls_back_to_retraining() {
+    let dir = std::env::temp_dir().join(format!("cap-cache-test3-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let scale = tiny_scale();
+    let data = build_dataset(DataKind::C10, &scale).expect("dataset");
+    // Seed the cache, then corrupt the model file.
+    pretrain_cached(
+        Arch::Vgg16,
+        DataKind::C10,
+        &data,
+        &scale,
+        RegularizerConfig::paper(),
+        &dir,
+    )
+    .expect("initial pretrain");
+    for entry in std::fs::read_dir(&dir).expect("cache dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|e| e == "capn") {
+            std::fs::write(&path, b"garbage").expect("corrupt");
+        }
+    }
+    let recovered = pretrain_cached(
+        Arch::Vgg16,
+        DataKind::C10,
+        &data,
+        &scale,
+        RegularizerConfig::paper(),
+        &dir,
+    )
+    .expect("fallback retrain");
+    assert!(recovered.net.num_params() > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,77 @@
+use cap_data::DataError;
+use cap_nn::NnError;
+use cap_tensor::TensorError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the pruning framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PruneError {
+    /// A neural-network operation failed.
+    Nn(NnError),
+    /// A tensor kernel failed.
+    Tensor(TensorError),
+    /// A dataset operation failed.
+    Data(DataError),
+    /// The network topology is not supported by the pruning surgery
+    /// (e.g. a pruned convolution feeding a consumer the surgery cannot
+    /// rewrite).
+    UnsupportedTopology {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Scores and network structure disagree (stale scores after surgery).
+    StaleScores {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PruneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PruneError::Nn(e) => write!(f, "network error: {e}"),
+            PruneError::Tensor(e) => write!(f, "tensor error: {e}"),
+            PruneError::Data(e) => write!(f, "data error: {e}"),
+            PruneError::UnsupportedTopology { reason } => {
+                write!(f, "unsupported topology: {reason}")
+            }
+            PruneError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            PruneError::StaleScores { reason } => write!(f, "stale scores: {reason}"),
+        }
+    }
+}
+
+impl Error for PruneError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PruneError::Nn(e) => Some(e),
+            PruneError::Tensor(e) => Some(e),
+            PruneError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for PruneError {
+    fn from(e: NnError) -> Self {
+        PruneError::Nn(e)
+    }
+}
+
+impl From<TensorError> for PruneError {
+    fn from(e: TensorError) -> Self {
+        PruneError::Tensor(e)
+    }
+}
+
+impl From<DataError> for PruneError {
+    fn from(e: DataError) -> Self {
+        PruneError::Data(e)
+    }
+}

@@ -1,0 +1,464 @@
+//! The overall class-aware pruning framework (paper Fig. 5): score →
+//! prune → fine-tune → repeat, until no filter is prunable or accuracy
+//! cannot be recovered.
+
+use crate::{
+    analyze_network, apply_site_pruning, evaluate_scores, find_prunable_sites, select_filters,
+    FlopsReport, NetworkScores, PruneError, PruneStrategy, ScoreConfig,
+};
+use cap_data::Dataset;
+use cap_nn::{evaluate, fit, Network, TrainConfig};
+
+/// Configuration of the iterative pruning framework.
+#[derive(Debug, Clone)]
+pub struct PruneConfig {
+    /// Importance-score evaluation settings (Eq. 3–7).
+    pub score: ScoreConfig,
+    /// Filter-selection strategy (Sec. III-C).
+    pub strategy: PruneStrategy,
+    /// Fine-tuning (retraining with the modified cost) after each
+    /// pruning iteration.
+    pub finetune: TrainConfig,
+    /// Upper bound on pruning iterations (safety net; the paper iterates
+    /// until convergence).
+    pub max_iterations: usize,
+    /// Maximum tolerated accuracy drop relative to the baseline; if
+    /// fine-tuning cannot recover to within this bound the framework
+    /// rolls back the iteration and stops.
+    pub accuracy_drop_limit: f64,
+    /// Batch size used for accuracy evaluation.
+    pub eval_batch: usize,
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        PruneConfig {
+            score: ScoreConfig::default(),
+            strategy: PruneStrategy::paper_combined(10),
+            finetune: TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+            max_iterations: 30,
+            accuracy_drop_limit: 0.02,
+            eval_batch: 64,
+        }
+    }
+}
+
+/// Why the pruning loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No filter fell below the pruning criterion — the paper's
+    /// convergence condition ("the remaining filters are very important
+    /// for many classes").
+    NoPrunableFilters,
+    /// Fine-tuning could not recover accuracy within the configured
+    /// bound; the last iteration was rolled back.
+    AccuracyUnrecoverable,
+    /// The iteration cap was reached.
+    MaxIterations,
+}
+
+/// Statistics of one pruning iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Filters removed this iteration.
+    pub removed_filters: usize,
+    /// Filters remaining across all prunable sites afterwards.
+    pub remaining_filters: usize,
+    /// Test accuracy directly after surgery, before fine-tuning.
+    pub accuracy_after_prune: f64,
+    /// Test accuracy after fine-tuning.
+    pub accuracy_after_finetune: f64,
+    /// Mean class-count score of the filters scored this iteration.
+    pub mean_score: f64,
+    /// FLOPs per sample after this iteration.
+    pub flops: u64,
+    /// Parameters after this iteration.
+    pub params: u64,
+}
+
+/// The result of a full pruning run.
+#[derive(Debug, Clone)]
+pub struct PruneOutcome {
+    /// Test accuracy of the unpruned network.
+    pub baseline_accuracy: f64,
+    /// Test accuracy of the final (pruned, fine-tuned) network.
+    pub final_accuracy: f64,
+    /// Cost report of the unpruned network.
+    pub baseline_cost: FlopsReport,
+    /// Cost report of the final network.
+    pub final_cost: FlopsReport,
+    /// Importance scores of the unpruned network (Fig. 4/7 "before").
+    pub scores_before: NetworkScores,
+    /// Importance scores of the final network (Fig. 4/7 "after").
+    pub scores_after: NetworkScores,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+    /// Why the loop stopped.
+    pub stop_reason: StopReason,
+}
+
+impl PruneOutcome {
+    /// The tables' pruning ratio: relative parameter reduction.
+    pub fn pruning_ratio(&self) -> f64 {
+        self.final_cost.param_reduction_vs(&self.baseline_cost)
+    }
+
+    /// The tables' FLOPs reduction.
+    pub fn flops_reduction(&self) -> f64 {
+        self.final_cost.flops_reduction_vs(&self.baseline_cost)
+    }
+
+    /// Accuracy drop (positive when the pruned model is worse).
+    pub fn accuracy_drop(&self) -> f64 {
+        self.baseline_accuracy - self.final_accuracy
+    }
+
+    /// Renders the iteration trajectory as CSV (header + one row per
+    /// iteration), for downstream plotting.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use cap_core::{PruneOutcome, StopReason, NetworkScores, FlopsReport};
+    /// # fn show(outcome: &PruneOutcome) {
+    /// let csv = outcome.iterations_csv();
+    /// assert!(csv.starts_with("iteration,"));
+    /// # }
+    /// ```
+    pub fn iterations_csv(&self) -> String {
+        let mut out = String::from(
+            "iteration,removed_filters,remaining_filters,accuracy_after_prune,accuracy_after_finetune,mean_score,flops,params\n",
+        );
+        for r in &self.iterations {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6},{:.6},{},{}\n",
+                r.iteration,
+                r.removed_filters,
+                r.remaining_filters,
+                r.accuracy_after_prune,
+                r.accuracy_after_finetune,
+                r.mean_score,
+                r.flops,
+                r.params
+            ));
+        }
+        out
+    }
+}
+
+/// The class-aware pruner: drives the Fig. 5 loop over a trained network.
+#[derive(Debug, Clone)]
+pub struct ClassAwarePruner {
+    config: PruneConfig,
+}
+
+impl ClassAwarePruner {
+    /// Creates a pruner after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidConfig`] for invalid score/strategy
+    /// settings, a zero iteration cap, or a negative drop limit.
+    pub fn new(config: PruneConfig) -> Result<Self, PruneError> {
+        config.score.validate()?;
+        config.strategy.validate()?;
+        if config.max_iterations == 0 {
+            return Err(PruneError::InvalidConfig {
+                reason: "max_iterations must be non-zero".to_string(),
+            });
+        }
+        if !(config.accuracy_drop_limit.is_finite() && config.accuracy_drop_limit >= 0.0) {
+            return Err(PruneError::InvalidConfig {
+                reason: format!(
+                    "accuracy_drop_limit {} must be finite and non-negative",
+                    config.accuracy_drop_limit
+                ),
+            });
+        }
+        if config.eval_batch == 0 {
+            return Err(PruneError::InvalidConfig {
+                reason: "eval_batch must be non-zero".to_string(),
+            });
+        }
+        Ok(ClassAwarePruner { config })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PruneConfig {
+        &self.config
+    }
+
+    /// Runs the full iterative pruning on a trained network.
+    ///
+    /// `net` is modified in place; on an unrecoverable accuracy drop the
+    /// last iteration is rolled back so `net` always leaves in its best
+    /// pruned state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring, surgery, training and analysis errors. In the
+    /// error case `net` may be left mid-iteration.
+    pub fn run(
+        &self,
+        net: &mut Network,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> Result<PruneOutcome, PruneError> {
+        let cfg = &self.config;
+        let (in_c, in_h, in_w) = input_dims(train)?;
+
+        let baseline_accuracy = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
+        let baseline_cost = analyze_network(net, in_c, in_h, in_w)?;
+        let sites0 = find_prunable_sites(net);
+        let scores_before = evaluate_scores(net, &sites0, train, &cfg.score)?;
+
+        let mut iterations = Vec::new();
+        let mut stop_reason = StopReason::MaxIterations;
+        for iteration in 1..=cfg.max_iterations {
+            let sites = find_prunable_sites(net);
+            let scores = evaluate_scores(net, &sites, train, &cfg.score)?;
+            let selection = select_filters(&scores, &cfg.strategy)?;
+            if selection.is_empty() {
+                stop_reason = StopReason::NoPrunableFilters;
+                break;
+            }
+            let snapshot = net.clone();
+            for (si, site) in sites.iter().enumerate() {
+                if selection.remove[si].is_empty() {
+                    continue;
+                }
+                let keep = selection.keep_for(si, scores.sites[si].scores.len());
+                apply_site_pruning(net, site, &keep)?;
+            }
+            let accuracy_after_prune = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
+            fit(net, train.images(), train.labels(), &cfg.finetune)?;
+            let accuracy_after_finetune =
+                evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
+            let cost = analyze_network(net, in_c, in_h, in_w)?;
+            let remaining = find_prunable_sites(net)
+                .iter()
+                .map(|s| s.filters(net).unwrap_or(0))
+                .sum();
+            iterations.push(IterationRecord {
+                iteration,
+                removed_filters: selection.total_removed(),
+                remaining_filters: remaining,
+                accuracy_after_prune,
+                accuracy_after_finetune,
+                mean_score: scores.mean(),
+                flops: cost.total_flops,
+                params: cost.total_params,
+            });
+            if baseline_accuracy - accuracy_after_finetune > cfg.accuracy_drop_limit {
+                *net = snapshot;
+                stop_reason = StopReason::AccuracyUnrecoverable;
+                break;
+            }
+        }
+
+        let final_accuracy = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
+        let final_cost = analyze_network(net, in_c, in_h, in_w)?;
+        let sites_final = find_prunable_sites(net);
+        let scores_after = evaluate_scores(net, &sites_final, train, &cfg.score)?;
+        Ok(PruneOutcome {
+            baseline_accuracy,
+            final_accuracy,
+            baseline_cost,
+            final_cost,
+            scores_before,
+            scores_after,
+            iterations,
+            stop_reason,
+        })
+    }
+}
+
+fn input_dims(data: &Dataset) -> Result<(usize, usize, usize), PruneError> {
+    let s = data.images().shape();
+    if s.len() != 4 {
+        return Err(PruneError::InvalidConfig {
+            reason: format!("dataset images must be 4-D, got {s:?}"),
+        });
+    }
+    Ok((s[1], s[2], s[3]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_data::{DatasetSpec, SyntheticDataset};
+    use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
+    use cap_nn::RegularizerConfig;
+    use rand::SeedableRng;
+
+    fn tiny_data() -> SyntheticDataset {
+        SyntheticDataset::generate(
+            &DatasetSpec::cifar10_like()
+                .with_image_size(8)
+                .with_counts(12, 4),
+        )
+        .unwrap()
+    }
+
+    fn tiny_net() -> Network {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let mut net = Network::new();
+        net.push(Conv2d::new(3, 12, 3, 1, 1, false, &mut rng).unwrap());
+        net.push(BatchNorm2d::new(12).unwrap());
+        net.push(Relu::new());
+        net.push(Conv2d::new(12, 12, 3, 1, 1, false, &mut rng).unwrap());
+        net.push(BatchNorm2d::new(12).unwrap());
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(12, 10, &mut rng).unwrap());
+        net
+    }
+
+    fn quick_config() -> PruneConfig {
+        PruneConfig {
+            finetune: TrainConfig {
+                epochs: 2,
+                batch_size: 20,
+                lr: 0.02,
+                regularizer: RegularizerConfig::paper(),
+                ..TrainConfig::default()
+            },
+            max_iterations: 3,
+            accuracy_drop_limit: 1.0, // never stop on accuracy in this test
+            ..PruneConfig::default()
+        }
+    }
+
+    #[test]
+    fn pruner_removes_filters_and_reduces_cost() {
+        let data = tiny_data();
+        let mut net = tiny_net();
+        // Brief pre-training so scores are meaningful.
+        fit(
+            &mut net,
+            data.train().images(),
+            data.train().labels(),
+            &TrainConfig {
+                epochs: 3,
+                batch_size: 20,
+                lr: 0.02,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        let pruner = ClassAwarePruner::new(PruneConfig {
+            strategy: PruneStrategy::Percentage { fraction: 0.2 },
+            ..quick_config()
+        })
+        .unwrap();
+        let outcome = pruner.run(&mut net, data.train(), data.test()).unwrap();
+        assert!(!outcome.iterations.is_empty());
+        assert!(outcome.pruning_ratio() > 0.0);
+        assert!(outcome.flops_reduction() > 0.0);
+        assert!(outcome.final_cost.total_params < outcome.baseline_cost.total_params);
+        // Network still works.
+        let x = cap_tensor::Tensor::zeros(&[1, 3, 8, 8]);
+        assert_eq!(net.forward(&x, false).unwrap().shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn stops_when_nothing_below_threshold() {
+        let data = tiny_data();
+        let mut net = tiny_net();
+        let pruner = ClassAwarePruner::new(PruneConfig {
+            strategy: PruneStrategy::Threshold { threshold: 0.0 },
+            ..quick_config()
+        })
+        .unwrap();
+        let outcome = pruner.run(&mut net, data.train(), data.test()).unwrap();
+        // Threshold 0 admits nothing (scores are >= 0): immediate stop.
+        assert_eq!(outcome.stop_reason, StopReason::NoPrunableFilters);
+        assert!(outcome.iterations.is_empty());
+        assert_eq!(outcome.pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn rolls_back_on_unrecoverable_accuracy() {
+        let data = tiny_data();
+        let mut net = tiny_net();
+        fit(
+            &mut net,
+            data.train().images(),
+            data.train().labels(),
+            &TrainConfig {
+                epochs: 4,
+                batch_size: 20,
+                lr: 0.02,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        let params_before = net.num_params();
+        // Aggressive pruning with a tiny drop budget and no fine-tuning
+        // epochs: the first iteration should be deemed unrecoverable and
+        // rolled back.
+        let pruner = ClassAwarePruner::new(PruneConfig {
+            strategy: PruneStrategy::Percentage { fraction: 0.8 },
+            finetune: TrainConfig {
+                epochs: 1,
+                batch_size: 120,
+                lr: 1e-6, // effectively no recovery
+                ..TrainConfig::default()
+            },
+            max_iterations: 5,
+            accuracy_drop_limit: 0.0,
+            ..PruneConfig::default()
+        })
+        .unwrap();
+        let outcome = pruner.run(&mut net, data.train(), data.test()).unwrap();
+        if outcome.stop_reason == StopReason::AccuracyUnrecoverable {
+            // Rolled back: parameters restored.
+            assert_eq!(net.num_params(), params_before);
+            assert!((outcome.final_accuracy - outcome.baseline_accuracy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn iterations_csv_has_header_and_rows() {
+        let data = tiny_data();
+        let mut net = tiny_net();
+        let pruner = ClassAwarePruner::new(PruneConfig {
+            strategy: PruneStrategy::Percentage { fraction: 0.2 },
+            ..quick_config()
+        })
+        .unwrap();
+        let outcome = pruner.run(&mut net, data.train(), data.test()).unwrap();
+        let csv = outcome.iterations_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("iteration,removed_filters"));
+        assert_eq!(lines.len(), outcome.iterations.len() + 1);
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), 8);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ClassAwarePruner::new(PruneConfig {
+            max_iterations: 0,
+            ..PruneConfig::default()
+        })
+        .is_err());
+        assert!(ClassAwarePruner::new(PruneConfig {
+            accuracy_drop_limit: -0.1,
+            ..PruneConfig::default()
+        })
+        .is_err());
+        assert!(ClassAwarePruner::new(PruneConfig {
+            eval_batch: 0,
+            ..PruneConfig::default()
+        })
+        .is_err());
+        assert!(ClassAwarePruner::new(PruneConfig::default()).is_ok());
+    }
+}

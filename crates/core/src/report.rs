@@ -1,0 +1,198 @@
+//! Reporting helpers for the paper's figures: score histograms (Fig. 4,
+//! Fig. 8) and per-layer mean scores (Fig. 7).
+
+use crate::NetworkScores;
+
+/// A histogram of class-count importance scores with unit-width bins
+/// `[0,1), [1,2), …, [classes-1, classes]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScoreHistogram {
+    counts: Vec<usize>,
+}
+
+impl ScoreHistogram {
+    /// Builds the histogram over all sites of `scores`.
+    pub fn from_scores(scores: &NetworkScores) -> Self {
+        Self::from_values(scores.iter_scores().map(|(_, _, v)| v), scores.classes)
+    }
+
+    /// Builds the histogram for a single site (a single layer, as in
+    /// Fig. 4). Out-of-range site indices produce an empty histogram.
+    pub fn from_site(scores: &NetworkScores, site_index: usize) -> Self {
+        match scores.sites.get(site_index) {
+            Some(site) => Self::from_values(site.scores.iter().copied(), scores.classes),
+            None => ScoreHistogram {
+                counts: vec![0; scores.classes + 1],
+            },
+        }
+    }
+
+    /// Builds a histogram from raw values with `classes` unit bins plus a
+    /// final bin for the exact maximum score.
+    pub fn from_values(values: impl Iterator<Item = f64>, classes: usize) -> Self {
+        let mut counts = vec![0usize; classes + 1];
+        for v in values {
+            let bin = (v.floor().max(0.0) as usize).min(classes);
+            counts[bin] += 1;
+        }
+        ScoreHistogram { counts }
+    }
+
+    /// Bin counts; index `i` counts scores in `[i, i+1)` (last bin:
+    /// exactly the class count).
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total number of scored filters.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of filters in bin 0 (score `< 1`), the "unimportant"
+    /// mass that L1 regularisation grows (Fig. 8).
+    pub fn low_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.counts[0] as f64 / t as f64
+        }
+    }
+
+    /// Fraction of filters in the top bin, the "important for all
+    /// classes" mass that orthogonality regularisation grows (Fig. 8).
+    pub fn high_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            *self.counts.last().expect("non-empty bins") as f64 / t as f64
+        }
+    }
+
+    /// Polarisation: the combined low+high mass. The paper argues the
+    /// L1 + L_orth combination maximises this (Fig. 8).
+    pub fn polarization(&self) -> f64 {
+        self.low_fraction() + self.high_fraction()
+    }
+
+    /// Renders an ASCII bar chart, one row per bin.
+    pub fn render_ascii(&self, max_width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (bin, &count) in self.counts.iter().enumerate() {
+            let bar = "#".repeat(count * max_width.max(1) / max);
+            out.push_str(&format!("{bin:>4} | {bar} {count}\n"));
+        }
+        out
+    }
+}
+
+/// Per-layer mean scores before and after pruning (Fig. 7).
+///
+/// Sites are matched by label; sites that disappeared (fully pruned —
+/// cannot happen under the default strategies) are skipped.
+pub fn layerwise_mean_scores(
+    before: &NetworkScores,
+    after: &NetworkScores,
+) -> Vec<(String, f64, f64)> {
+    before
+        .sites
+        .iter()
+        .filter_map(|b| {
+            after
+                .sites
+                .iter()
+                .find(|a| a.label == b.label)
+                .map(|a| (b.label.clone(), b.mean(), a.mean()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SiteScores;
+
+    fn scores(values: Vec<f64>, classes: usize) -> NetworkScores {
+        NetworkScores {
+            sites: vec![SiteScores {
+                label: "conv1".to_string(),
+                scores: values,
+            }],
+            classes,
+        }
+    }
+
+    #[test]
+    fn binning_is_unit_width() {
+        let s = scores(vec![0.0, 0.5, 1.0, 2.7, 10.0], 10);
+        let h = ScoreHistogram::from_scores(&s);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[2], 1);
+        assert_eq!(h.counts()[10], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn polarization_fractions() {
+        let s = scores(vec![0.0, 0.0, 10.0, 5.0], 10);
+        let h = ScoreHistogram::from_scores(&s);
+        assert!((h.low_fraction() - 0.5).abs() < 1e-12);
+        assert!((h.high_fraction() - 0.25).abs() < 1e-12);
+        assert!((h.polarization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ascii_render_contains_all_bins() {
+        let s = scores(vec![0.0, 1.0, 1.5], 3);
+        let h = ScoreHistogram::from_scores(&s);
+        let text = h.render_ascii(20);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("   0 |"));
+    }
+
+    #[test]
+    fn layerwise_means_match_labels() {
+        let before = NetworkScores {
+            sites: vec![
+                SiteScores {
+                    label: "conv1".to_string(),
+                    scores: vec![2.0, 4.0],
+                },
+                SiteScores {
+                    label: "conv2".to_string(),
+                    scores: vec![1.0],
+                },
+            ],
+            classes: 10,
+        };
+        let after = NetworkScores {
+            sites: vec![
+                SiteScores {
+                    label: "conv1".to_string(),
+                    scores: vec![6.0],
+                },
+                SiteScores {
+                    label: "conv2".to_string(),
+                    scores: vec![3.0],
+                },
+            ],
+            classes: 10,
+        };
+        let rows = layerwise_mean_scores(&before, &after);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], ("conv1".to_string(), 3.0, 6.0));
+        assert_eq!(rows[1], ("conv2".to_string(), 1.0, 3.0));
+    }
+
+    #[test]
+    fn site_histogram_out_of_range_is_empty() {
+        let s = scores(vec![1.0], 4);
+        let h = ScoreHistogram::from_site(&s, 7);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.low_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,420 @@
+//! Discovery of prunable filter sites in a network, and the channel
+//! surgery that removes filters while keeping the network consistent.
+//!
+//! Two site kinds cover the paper's models:
+//!
+//! * **Sequential** — a top-level convolution whose output feeds (through
+//!   batch-norm / activation / pooling) either another top-level
+//!   convolution or, via global average pooling, the classifier. All 13/16
+//!   VGG convolutions are of this kind.
+//! * **Residual-internal** — the first convolution of a basic residual
+//!   block. Pruning it shrinks the block's internal width only, which is
+//!   exactly the paper's ResNet56 constraint ("only the first layer of
+//!   each residual block is pruned" to keep shortcuts intact).
+//!
+//! A convolution whose output feeds a residual block (e.g. the ResNet
+//! stem) is *not* prunable: the block's identity shortcut ties its input
+//! width to its output width.
+
+use crate::PruneError;
+use cap_nn::layer::{Conv2d, Layer};
+use cap_nn::Network;
+
+/// Where a prunable convolution sits inside the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// `network.layers()[conv_idx]` is a `Layer::Conv` whose consumer can
+    /// be rewritten.
+    Sequential {
+        /// Index of the convolution layer.
+        conv_idx: usize,
+    },
+    /// `network.layers()[block_idx]` is a `Layer::Residual`; the site is
+    /// its first convolution.
+    ResidualInternal {
+        /// Index of the residual block.
+        block_idx: usize,
+    },
+}
+
+/// A prunable convolution site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrunableSite {
+    /// Structural location.
+    pub kind: SiteKind,
+    /// Human-readable label (e.g. `conv3` or `block7.conv1`), stable for
+    /// reports.
+    pub label: String,
+}
+
+impl PrunableSite {
+    /// Number of filters currently at this site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::StaleScores`] if the network no longer has
+    /// this site (structural drift).
+    pub fn filters(&self, net: &Network) -> Result<usize, PruneError> {
+        Ok(self.conv(net)?.out_channels())
+    }
+
+    /// Immutable access to the site's convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::StaleScores`] if the site no longer matches
+    /// the network structure.
+    pub fn conv<'a>(&self, net: &'a Network) -> Result<&'a Conv2d, PruneError> {
+        let stale = || PruneError::StaleScores {
+            reason: format!("site {:?} does not match network structure", self.kind),
+        };
+        match self.kind {
+            SiteKind::Sequential { conv_idx } => net
+                .layers()
+                .get(conv_idx)
+                .and_then(Layer::as_conv)
+                .ok_or_else(stale),
+            SiteKind::ResidualInternal { block_idx } => net
+                .layers()
+                .get(block_idx)
+                .and_then(Layer::as_residual)
+                .map(|b| b.conv1())
+                .ok_or_else(stale),
+        }
+    }
+}
+
+/// Finds every prunable site in execution order.
+///
+/// # Example
+///
+/// ```
+/// use cap_nn::layer::{Conv2d, GlobalAvgPool, Linear, Relu};
+/// use cap_nn::Network;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Network::new();
+/// net.push(Conv2d::new(3, 8, 3, 1, 1, false, &mut rng)?);
+/// net.push(Relu::new());
+/// net.push(GlobalAvgPool::new());
+/// net.push(Linear::new(8, 10, &mut rng)?);
+/// let sites = cap_core::find_prunable_sites(&net);
+/// assert_eq!(sites.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn find_prunable_sites(net: &Network) -> Vec<PrunableSite> {
+    let layers = net.layers();
+    let mut sites = Vec::new();
+    let mut conv_counter = 0usize;
+    let mut block_counter = 0usize;
+    for (i, layer) in layers.iter().enumerate() {
+        match layer {
+            Layer::Conv(_) => {
+                conv_counter += 1;
+                if matches!(
+                    consumer_of(layers, i),
+                    Some(Consumer::Conv(_) | Consumer::Linear(_))
+                ) {
+                    sites.push(PrunableSite {
+                        kind: SiteKind::Sequential { conv_idx: i },
+                        label: format!("conv{conv_counter}"),
+                    });
+                }
+            }
+            Layer::Residual(_) => {
+                block_counter += 1;
+                sites.push(PrunableSite {
+                    kind: SiteKind::ResidualInternal { block_idx: i },
+                    label: format!("block{block_counter}.conv1"),
+                });
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+/// The consumer of a convolution's output channels.
+enum Consumer {
+    Conv(usize),
+    Linear(usize),
+    Residual(usize),
+}
+
+/// Scans forward from layer `i` for the next layer whose input channel
+/// count is coupled to layer `i`'s output channels. Pass-through layers
+/// (ReLU, pooling, flatten, batch-norm) preserve channel identity.
+fn consumer_of(layers: &[Layer], i: usize) -> Option<Consumer> {
+    for (j, layer) in layers.iter().enumerate().skip(i + 1) {
+        match layer {
+            Layer::Conv(_) => return Some(Consumer::Conv(j)),
+            Layer::Linear(_) => return Some(Consumer::Linear(j)),
+            Layer::Residual(_) => return Some(Consumer::Residual(j)),
+            Layer::BatchNorm(_)
+            | Layer::Relu(_)
+            | Layer::MaxPool(_)
+            | Layer::GlobalAvgPool(_)
+            | Layer::Flatten(_) => continue,
+        }
+    }
+    None
+}
+
+/// Removes all filters *not* in `keep` from the convolution at `site`,
+/// propagating the channel change to the following batch-norm and to the
+/// consumer layer.
+///
+/// # Errors
+///
+/// * [`PruneError::StaleScores`] if `site` no longer matches the network.
+/// * [`PruneError::UnsupportedTopology`] if the consumer cannot be
+///   rewritten (a sequential conv feeding a residual block, or a linear
+///   consumer not preceded by global average pooling).
+/// * [`PruneError::Nn`] for invalid keep-sets.
+pub fn apply_site_pruning(
+    net: &mut Network,
+    site: &PrunableSite,
+    keep: &[usize],
+) -> Result<(), PruneError> {
+    match site.kind {
+        SiteKind::ResidualInternal { block_idx } => {
+            let block = net
+                .layers_mut()
+                .get_mut(block_idx)
+                .and_then(Layer::as_residual_mut)
+                .ok_or_else(|| PruneError::StaleScores {
+                    reason: format!("no residual block at layer {block_idx}"),
+                })?;
+            block.retain_internal_channels(keep)?;
+            Ok(())
+        }
+        SiteKind::Sequential { conv_idx } => {
+            // Identify the consumer before mutating anything.
+            let consumer = match consumer_of(net.layers(), conv_idx) {
+                Some(Consumer::Conv(j)) => Consumer::Conv(j),
+                Some(Consumer::Linear(j)) => {
+                    // The linear consumer is only rewritable when its input
+                    // features are exactly the channels, i.e. a global
+                    // average pool intervenes.
+                    let has_gap = net.layers()[conv_idx + 1..j]
+                        .iter()
+                        .any(|l| matches!(l, Layer::GlobalAvgPool(_)));
+                    if !has_gap {
+                        return Err(PruneError::UnsupportedTopology {
+                            reason: format!(
+                                "linear consumer at layer {j} is not behind global average pooling"
+                            ),
+                        });
+                    }
+                    Consumer::Linear(j)
+                }
+                Some(Consumer::Residual(j)) => {
+                    return Err(PruneError::UnsupportedTopology {
+                        reason: format!(
+                            "conv at layer {conv_idx} feeds residual block at {j}; pruning it would break the shortcut"
+                        ),
+                    })
+                }
+                None => {
+                    return Err(PruneError::UnsupportedTopology {
+                        reason: format!("conv at layer {conv_idx} has no rewritable consumer"),
+                    })
+                }
+            };
+            // 1. Shrink the producer.
+            net.layers_mut()
+                .get_mut(conv_idx)
+                .and_then(Layer::as_conv_mut)
+                .ok_or_else(|| PruneError::StaleScores {
+                    reason: format!("no conv at layer {conv_idx}"),
+                })?
+                .retain_output_channels(keep)?;
+            // 2. Shrink the adjacent batch-norm, if present.
+            if let Some(Layer::BatchNorm(bn)) = net.layers_mut().get_mut(conv_idx + 1) {
+                bn.retain_channels(keep)?;
+            }
+            // 3. Shrink the consumer's input side.
+            match consumer {
+                Consumer::Conv(j) => {
+                    net.layers_mut()
+                        .get_mut(j)
+                        .and_then(Layer::as_conv_mut)
+                        .ok_or_else(|| PruneError::StaleScores {
+                            reason: format!("no conv at layer {j}"),
+                        })?
+                        .retain_input_channels(keep)?;
+                }
+                Consumer::Linear(j) => {
+                    if let Some(Layer::Linear(lin)) = net.layers_mut().get_mut(j) {
+                        lin.retain_input_features(keep)?;
+                    } else {
+                        return Err(PruneError::StaleScores {
+                            reason: format!("no linear at layer {j}"),
+                        });
+                    }
+                }
+                Consumer::Residual(_) => unreachable!("rejected above"),
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_nn::layer::{BatchNorm2d, GlobalAvgPool, Linear, MaxPool2d, Relu, ResidualBlock};
+    use cap_tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(17)
+    }
+
+    fn vgg_like(rng: &mut rand::rngs::StdRng) -> Network {
+        let mut net = Network::new();
+        net.push(Conv2d::new(3, 8, 3, 1, 1, false, rng).unwrap());
+        net.push(BatchNorm2d::new(8).unwrap());
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2).unwrap());
+        net.push(Conv2d::new(8, 16, 3, 1, 1, false, rng).unwrap());
+        net.push(BatchNorm2d::new(16).unwrap());
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(16, 10, rng).unwrap());
+        net
+    }
+
+    fn resnet_like(rng: &mut rand::rngs::StdRng) -> Network {
+        let mut net = Network::new();
+        net.push(Conv2d::new(3, 8, 3, 1, 1, false, rng).unwrap());
+        net.push(BatchNorm2d::new(8).unwrap());
+        net.push(Relu::new());
+        net.push(ResidualBlock::new(8, 8, 1, rng).unwrap());
+        net.push(ResidualBlock::new(8, 16, 2, rng).unwrap());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(16, 10, rng).unwrap());
+        net
+    }
+
+    #[test]
+    fn vgg_sites_are_all_convs() {
+        let net = vgg_like(&mut rng());
+        let sites = find_prunable_sites(&net);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].label, "conv1");
+        assert_eq!(sites[1].label, "conv2");
+        assert_eq!(sites[0].filters(&net).unwrap(), 8);
+    }
+
+    #[test]
+    fn resnet_stem_is_not_prunable() {
+        let net = resnet_like(&mut rng());
+        let sites = find_prunable_sites(&net);
+        // Only the two block-internal sites; the stem feeds a residual.
+        assert_eq!(sites.len(), 2);
+        assert!(sites
+            .iter()
+            .all(|s| matches!(s.kind, SiteKind::ResidualInternal { .. })));
+    }
+
+    #[test]
+    fn sequential_pruning_rewrites_bn_and_next_conv() {
+        let mut net = vgg_like(&mut rng());
+        let sites = find_prunable_sites(&net);
+        apply_site_pruning(&mut net, &sites[0], &[0, 2, 5]).unwrap();
+        let c0 = net.layers()[0].as_conv().unwrap();
+        assert_eq!(c0.out_channels(), 3);
+        let c1 = net.layers()[4].as_conv().unwrap();
+        assert_eq!(c1.in_channels(), 3);
+        // Forward still works end to end.
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn last_conv_pruning_rewrites_linear() {
+        let mut net = vgg_like(&mut rng());
+        let sites = find_prunable_sites(&net);
+        apply_site_pruning(&mut net, &sites[1], &[1, 3, 8, 15]).unwrap();
+        if let Layer::Linear(l) = &net.layers()[8] {
+            assert_eq!(l.in_features(), 4);
+        } else {
+            panic!("layer 8 should be linear");
+        }
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        assert_eq!(net.forward(&x, false).unwrap().shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn residual_internal_pruning_preserves_interface() {
+        let mut net = resnet_like(&mut rng());
+        let sites = find_prunable_sites(&net);
+        apply_site_pruning(&mut net, &sites[0], &[0, 4]).unwrap();
+        apply_site_pruning(&mut net, &sites[1], &[2, 7, 9]).unwrap();
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        assert_eq!(net.forward(&x, false).unwrap().shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn pruning_exact_zero_filters_preserves_outputs() {
+        // Zero out two filters of conv1 and the corresponding BN scales;
+        // removing them must leave the network function unchanged.
+        let mut net = vgg_like(&mut rng());
+        let x = cap_tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng());
+        // Warm BN running stats so eval mode is meaningful.
+        for _ in 0..30 {
+            net.forward(&x, true).unwrap();
+        }
+        let kill = [1usize, 6];
+        if let Some(c) = net.layers_mut()[0].as_conv_mut() {
+            let (in_c, k) = (c.in_channels(), c.kernel());
+            for &f in &kill {
+                let fsize = in_c * k * k;
+                for v in &mut c.weight_mut().data_mut()[f * fsize..(f + 1) * fsize] {
+                    *v = 0.0;
+                }
+            }
+        }
+        if let Layer::BatchNorm(bn) = &mut net.layers_mut()[1] {
+            for &f in &kill {
+                bn.gamma_mut().data_mut()[f] = 0.0;
+            }
+        }
+        // Re-warm running stats with the zeroed filters so that eval-mode
+        // BN maps the dead channels to exactly beta = 0.
+        for _ in 0..60 {
+            net.forward(&x, true).unwrap();
+        }
+        let before = net.forward(&x, false).unwrap();
+        let keep: Vec<usize> = (0..8).filter(|i| !kill.contains(i)).collect();
+        let sites = find_prunable_sites(&net);
+        apply_site_pruning(&mut net, &sites[0], &keep).unwrap();
+        let after = net.forward(&x, false).unwrap();
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn invalid_keep_sets_rejected() {
+        let mut net = vgg_like(&mut rng());
+        let sites = find_prunable_sites(&net);
+        assert!(apply_site_pruning(&mut net, &sites[0], &[]).is_err());
+        assert!(apply_site_pruning(&mut net, &sites[0], &[9]).is_err());
+    }
+
+    #[test]
+    fn stale_site_detected() {
+        let net = vgg_like(&mut rng());
+        let bogus = PrunableSite {
+            kind: SiteKind::Sequential { conv_idx: 2 },
+            label: "bogus".to_string(),
+        };
+        assert!(bogus.conv(&net).is_err());
+    }
+}

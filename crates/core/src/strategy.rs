@@ -1,0 +1,299 @@
+//! Pruning strategies (paper Sec. III-C and Table II).
+//!
+//! The paper combines an importance-score **threshold** (filters important
+//! for fewer than `θ` classes are candidates; `θ = 3` for 10 classes,
+//! `θ = 30` for 100 classes, i.e. 30% of the class count) with a
+//! per-iteration **percentage cap** ("no more than 10%") to keep pruning
+//! granularity fine. Table II ablates the two components.
+
+use crate::{NetworkScores, PruneError};
+
+/// A per-iteration filter-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PruneStrategy {
+    /// Remove every filter whose class-count score is below `threshold`.
+    Threshold {
+        /// Score threshold (same units as the class count).
+        threshold: f64,
+    },
+    /// Remove the globally lowest-scoring `fraction` of all filters.
+    Percentage {
+        /// Fraction of all filters to remove, in `(0, 1)`.
+        fraction: f64,
+    },
+    /// The paper's combination: filters below `threshold`, but at most
+    /// `max_fraction` of all filters per iteration.
+    Combined {
+        /// Score threshold.
+        threshold: f64,
+        /// Per-iteration cap, in `(0, 1)`.
+        max_fraction: f64,
+    },
+}
+
+impl PruneStrategy {
+    /// The paper's default for a dataset with `classes` classes:
+    /// threshold `0.3 · classes` (3 for CIFAR-10, 30 for CIFAR-100) with a
+    /// 10% per-iteration cap.
+    pub fn paper_combined(classes: usize) -> Self {
+        PruneStrategy::Combined {
+            threshold: threshold_for_classes(classes),
+            max_fraction: 0.10,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PruneStrategy::Threshold { .. } => "threshold",
+            PruneStrategy::Percentage { .. } => "percentage",
+            PruneStrategy::Combined { .. } => "percentage+threshold",
+        }
+    }
+
+    /// Validates strategy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PruneError::InvalidConfig`] for out-of-range thresholds
+    /// or fractions.
+    pub fn validate(&self) -> Result<(), PruneError> {
+        let check_fraction = |f: f64| -> Result<(), PruneError> {
+            if !(f.is_finite() && f > 0.0 && f < 1.0) {
+                return Err(PruneError::InvalidConfig {
+                    reason: format!("fraction {f} must lie in (0, 1)"),
+                });
+            }
+            Ok(())
+        };
+        match *self {
+            PruneStrategy::Threshold { threshold } | PruneStrategy::Combined { threshold, .. }
+                if !(threshold.is_finite() && threshold >= 0.0) =>
+            {
+                Err(PruneError::InvalidConfig {
+                    reason: format!("threshold {threshold} must be finite and non-negative"),
+                })
+            }
+            PruneStrategy::Percentage { fraction } => check_fraction(fraction),
+            PruneStrategy::Combined { max_fraction, .. } => check_fraction(max_fraction),
+            PruneStrategy::Threshold { .. } => Ok(()),
+        }
+    }
+}
+
+/// The paper's dataset-dependent threshold: 30% of the class count.
+pub fn threshold_for_classes(classes: usize) -> f64 {
+    0.3 * classes as f64
+}
+
+/// Which filters to remove at each site this iteration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PruneSelection {
+    /// `remove[site_index]` lists filter indices to remove, strictly
+    /// increasing. Sites may have empty lists.
+    pub remove: Vec<Vec<usize>>,
+}
+
+impl PruneSelection {
+    /// Total number of filters selected for removal.
+    pub fn total_removed(&self) -> usize {
+        self.remove.iter().map(Vec::len).sum()
+    }
+
+    /// Whether nothing was selected (the framework's stop condition).
+    pub fn is_empty(&self) -> bool {
+        self.total_removed() == 0
+    }
+
+    /// The keep-set for a site (complement of the removal set).
+    pub fn keep_for(&self, site_index: usize, filters: usize) -> Vec<usize> {
+        let remove = &self.remove[site_index];
+        (0..filters).filter(|i| !remove.contains(i)).collect()
+    }
+}
+
+/// Selects filters to prune according to `strategy`.
+///
+/// Every site always retains at least one filter, regardless of strategy
+/// — removing a whole layer would change the topology, which the paper
+/// never does.
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidConfig`] for invalid strategy parameters.
+pub fn select_filters(
+    scores: &NetworkScores,
+    strategy: &PruneStrategy,
+) -> Result<PruneSelection, PruneError> {
+    strategy.validate()?;
+    let total = scores.total_filters();
+    if total == 0 {
+        return Ok(PruneSelection {
+            remove: vec![Vec::new(); scores.sites.len()],
+        });
+    }
+    // Candidate pool as (score, site, filter), depending on strategy.
+    let mut candidates: Vec<(f64, usize, usize)> = match *strategy {
+        PruneStrategy::Threshold { threshold } => scores
+            .iter_scores()
+            .filter(|&(_, _, v)| v < threshold)
+            .map(|(s, f, v)| (v, s, f))
+            .collect(),
+        PruneStrategy::Percentage { .. } => {
+            scores.iter_scores().map(|(s, f, v)| (v, s, f)).collect()
+        }
+        PruneStrategy::Combined { threshold, .. } => scores
+            .iter_scores()
+            .filter(|&(_, _, v)| v < threshold)
+            .map(|(s, f, v)| (v, s, f))
+            .collect(),
+    };
+    // Lowest scores first; ties broken by (site, filter) for determinism.
+    candidates.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+    let cap = match *strategy {
+        PruneStrategy::Threshold { .. } => candidates.len(),
+        PruneStrategy::Percentage { fraction } => {
+            ((total as f64 * fraction).floor() as usize).max(1)
+        }
+        PruneStrategy::Combined { max_fraction, .. } => {
+            ((total as f64 * max_fraction).floor() as usize).max(1)
+        }
+    };
+    let mut remove: Vec<Vec<usize>> = vec![Vec::new(); scores.sites.len()];
+    let mut site_remaining: Vec<usize> = scores.sites.iter().map(|s| s.scores.len()).collect();
+    let mut taken = 0usize;
+    for (_, site, filter) in candidates {
+        if taken >= cap {
+            break;
+        }
+        if site_remaining[site] <= 1 {
+            continue; // never empty a site
+        }
+        remove[site].push(filter);
+        site_remaining[site] -= 1;
+        taken += 1;
+    }
+    for r in &mut remove {
+        r.sort_unstable();
+    }
+    Ok(PruneSelection { remove })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SiteScores;
+
+    fn scores(site_scores: Vec<Vec<f64>>) -> NetworkScores {
+        NetworkScores {
+            sites: site_scores
+                .into_iter()
+                .enumerate()
+                .map(|(i, scores)| SiteScores {
+                    label: format!("site{i}"),
+                    scores,
+                })
+                .collect(),
+            classes: 10,
+        }
+    }
+
+    #[test]
+    fn threshold_removes_only_low_scores() {
+        let s = scores(vec![vec![0.0, 5.0, 2.0], vec![9.0, 1.0]]);
+        let sel = select_filters(&s, &PruneStrategy::Threshold { threshold: 3.0 }).unwrap();
+        assert_eq!(sel.remove[0], vec![0, 2]);
+        assert_eq!(sel.remove[1], vec![1]);
+        assert_eq!(sel.total_removed(), 3);
+    }
+
+    #[test]
+    fn percentage_removes_lowest_fraction_globally() {
+        let s = scores(vec![vec![0.0, 5.0, 2.0, 7.0], vec![9.0, 1.0, 8.0, 6.0]]);
+        let sel = select_filters(&s, &PruneStrategy::Percentage { fraction: 0.25 }).unwrap();
+        // 8 filters * 0.25 = 2 removals: scores 0.0 and 1.0.
+        assert_eq!(sel.total_removed(), 2);
+        assert_eq!(sel.remove[0], vec![0]);
+        assert_eq!(sel.remove[1], vec![1]);
+    }
+
+    #[test]
+    fn combined_caps_threshold_candidates() {
+        let s = scores(vec![vec![0.0, 0.5, 1.0, 2.0, 9.0, 9.0, 9.0, 9.0]]);
+        let sel = select_filters(
+            &s,
+            &PruneStrategy::Combined {
+                threshold: 3.0,
+                max_fraction: 0.25,
+            },
+        )
+        .unwrap();
+        // 4 candidates below 3.0 but cap = floor(8 * 0.25) = 2.
+        assert_eq!(sel.total_removed(), 2);
+        assert_eq!(sel.remove[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn never_empties_a_site() {
+        let s = scores(vec![vec![0.0, 0.0], vec![0.0]]);
+        let sel = select_filters(&s, &PruneStrategy::Threshold { threshold: 5.0 }).unwrap();
+        // Site 0 keeps one of two, site 1 keeps its only filter.
+        assert_eq!(sel.remove[0].len(), 1);
+        assert!(sel.remove[1].is_empty());
+        let keep = sel.keep_for(0, 2);
+        assert_eq!(keep.len(), 1);
+    }
+
+    #[test]
+    fn empty_selection_when_all_above_threshold() {
+        let s = scores(vec![vec![9.0, 8.0]]);
+        let sel = select_filters(&s, &PruneStrategy::Threshold { threshold: 3.0 }).unwrap();
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn paper_combined_threshold_scales_with_classes() {
+        assert_eq!(threshold_for_classes(10), 3.0);
+        assert_eq!(threshold_for_classes(100), 30.0);
+        let strat = PruneStrategy::paper_combined(10);
+        assert!(matches!(
+            strat,
+            PruneStrategy::Combined { threshold, max_fraction }
+                if (threshold - 3.0).abs() < 1e-12 && (max_fraction - 0.1).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(PruneStrategy::Percentage { fraction: 0.0 }
+            .validate()
+            .is_err());
+        assert!(PruneStrategy::Percentage { fraction: 1.0 }
+            .validate()
+            .is_err());
+        assert!(PruneStrategy::Threshold { threshold: -1.0 }
+            .validate()
+            .is_err());
+        assert!(PruneStrategy::Combined {
+            threshold: f64::NAN,
+            max_fraction: 0.1
+        }
+        .validate()
+        .is_err());
+        assert!(PruneStrategy::paper_combined(10).validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let s = scores(vec![vec![1.0, 1.0, 1.0, 1.0]]);
+        let a = select_filters(&s, &PruneStrategy::Percentage { fraction: 0.5 }).unwrap();
+        let b = select_filters(&s, &PruneStrategy::Percentage { fraction: 0.5 }).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.remove[0], vec![0, 1]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Unstructured (individual-weight) magnitude pruning.
+//!
+//! The paper's Background section contrasts structured filter pruning
+//! with unstructured pruning (Han et al., the paper's \[9\]): removing
+//! individual weights reaches higher sparsity but produces irregular
+//! matrices that dense hardware cannot exploit — zero weights still
+//! occupy MACs on a systolic array. This module implements the
+//! unstructured baseline so that contrast is measurable: it reports both
+//! the *sparsity* achieved and the *dense* FLOPs, which do not shrink.
+
+use crate::PruneError;
+use cap_nn::layer::Layer;
+use cap_nn::Network;
+
+/// Sparsity statistics of a network's weight tensors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityReport {
+    /// Total weight entries considered (convolution + linear weights).
+    pub total_weights: usize,
+    /// Entries that are exactly zero.
+    pub zero_weights: usize,
+}
+
+impl SparsityReport {
+    /// Fraction of zero entries.
+    pub fn sparsity(&self) -> f64 {
+        if self.total_weights == 0 {
+            0.0
+        } else {
+            self.zero_weights as f64 / self.total_weights as f64
+        }
+    }
+}
+
+/// Measures the current sparsity of all convolution and linear weights.
+pub fn sparsity(net: &Network) -> SparsityReport {
+    let mut total = 0usize;
+    let mut zeros = 0usize;
+    net.visit_convs(&mut |c| {
+        total += c.weight().numel();
+        zeros += c.weight().data().iter().filter(|&&v| v == 0.0).count();
+    });
+    for layer in net.layers() {
+        if let Layer::Linear(l) = layer {
+            total += l.weight().numel();
+            zeros += l.weight().data().iter().filter(|&&v| v == 0.0).count();
+        }
+    }
+    SparsityReport {
+        total_weights: total,
+        zero_weights: zeros,
+    }
+}
+
+/// Zeroes the `fraction` smallest-magnitude weights across every
+/// convolution and linear layer (global magnitude pruning). Returns the
+/// resulting sparsity.
+///
+/// Unlike the structured surgery in [`crate::apply_site_pruning`], this
+/// does **not** change tensor shapes, parameter counts or dense FLOPs —
+/// which is precisely the hardware-efficiency argument the paper makes
+/// for filter-wise pruning.
+///
+/// # Errors
+///
+/// Returns [`PruneError::InvalidConfig`] if `fraction` is outside
+/// `[0, 1)`.
+pub fn prune_weights_by_magnitude(
+    net: &mut Network,
+    fraction: f64,
+) -> Result<SparsityReport, PruneError> {
+    if !(0.0..1.0).contains(&fraction) || !fraction.is_finite() {
+        return Err(PruneError::InvalidConfig {
+            reason: format!("fraction {fraction} must lie in [0, 1)"),
+        });
+    }
+    // Collect all magnitudes to find the global cut-off.
+    let mut mags: Vec<f32> = Vec::new();
+    net.visit_convs(&mut |c| mags.extend(c.weight().data().iter().map(|v| v.abs())));
+    for layer in net.layers() {
+        if let Layer::Linear(l) = layer {
+            mags.extend(l.weight().data().iter().map(|v| v.abs()));
+        }
+    }
+    if mags.is_empty() {
+        return Ok(SparsityReport {
+            total_weights: 0,
+            zero_weights: 0,
+        });
+    }
+    let k = ((mags.len() as f64) * fraction).floor() as usize;
+    let threshold = if k == 0 {
+        0.0
+    } else {
+        let (_, nth, _) = mags.select_nth_unstable_by(k - 1, f32::total_cmp);
+        *nth
+    };
+    let clip = |w: &mut cap_tensor::Tensor| {
+        for v in w.data_mut() {
+            if v.abs() <= threshold {
+                *v = 0.0;
+            }
+        }
+    };
+    if k > 0 {
+        net.visit_convs_mut(&mut |c| clip(c.weight_mut()));
+        for layer in net.layers_mut() {
+            if let Layer::Linear(l) = layer {
+                clip(l.weight_mut());
+            }
+        }
+    }
+    Ok(sparsity(net))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_nn::layer::{Conv2d, GlobalAvgPool, Linear, Relu};
+    use rand::SeedableRng;
+
+    fn net() -> Network {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut net = Network::new();
+        net.push(Conv2d::new(2, 4, 3, 1, 1, false, &mut rng).unwrap());
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(4, 3, &mut rng).unwrap());
+        net
+    }
+
+    #[test]
+    fn fresh_network_is_dense() {
+        let r = sparsity(&net());
+        assert_eq!(r.zero_weights, 0);
+        assert_eq!(r.total_weights, 4 * 2 * 9 + 3 * 4);
+        assert_eq!(r.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn pruning_hits_requested_sparsity() {
+        let mut n = net();
+        let r = prune_weights_by_magnitude(&mut n, 0.5).unwrap();
+        let expected = (r.total_weights as f64 * 0.5).floor();
+        assert!(
+            (r.zero_weights as f64 - expected).abs() <= 2.0,
+            "{} zeros vs expected ~{expected}",
+            r.zero_weights
+        );
+    }
+
+    #[test]
+    fn pruned_weights_are_the_smallest() {
+        let mut n = net();
+        let before: Vec<f32> = n.layers()[0].as_conv().unwrap().weight().data().to_vec();
+        prune_weights_by_magnitude(&mut n, 0.3).unwrap();
+        let after = n.layers()[0].as_conv().unwrap().weight().data().to_vec();
+        // Every surviving weight must be at least as large in magnitude as
+        // every killed weight.
+        let max_killed = before
+            .iter()
+            .zip(&after)
+            .filter(|(_, &a)| a == 0.0)
+            .map(|(&b, _)| b.abs())
+            .fold(0.0f32, f32::max);
+        let min_kept = after
+            .iter()
+            .filter(|&&a| a != 0.0)
+            .map(|a| a.abs())
+            .fold(f32::INFINITY, f32::min);
+        assert!(max_killed <= min_kept + 1e-9);
+    }
+
+    #[test]
+    fn shapes_and_flops_unchanged() {
+        let mut n = net();
+        let before = crate::analyze_network(&n, 2, 6, 6).unwrap();
+        prune_weights_by_magnitude(&mut n, 0.7).unwrap();
+        let after = crate::analyze_network(&n, 2, 6, 6).unwrap();
+        // The hardware-relevant cost metrics do not move: that is the
+        // paper's argument for structured pruning.
+        assert_eq!(before.total_flops, after.total_flops);
+        assert_eq!(before.total_params, after.total_params);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let mut n = net();
+        let w_before: Vec<f32> = n.layers()[0].as_conv().unwrap().weight().data().to_vec();
+        prune_weights_by_magnitude(&mut n, 0.0).unwrap();
+        assert_eq!(
+            n.layers()[0].as_conv().unwrap().weight().data(),
+            &w_before[..]
+        );
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let mut n = net();
+        assert!(prune_weights_by_magnitude(&mut n, 1.0).is_err());
+        assert!(prune_weights_by_magnitude(&mut n, -0.1).is_err());
+        assert!(prune_weights_by_magnitude(&mut n, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests on the pruning-core invariants.
+
+use cap_core::{select_filters, NetworkScores, PruneStrategy, ScoreHistogram, SiteScores};
+use proptest::prelude::*;
+
+fn arb_scores() -> impl Strategy<Value = NetworkScores> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 1..12), 1..5).prop_map(
+        |sites| NetworkScores {
+            sites: sites
+                .into_iter()
+                .enumerate()
+                .map(|(i, scores)| SiteScores {
+                    label: format!("site{i}"),
+                    scores,
+                })
+                .collect(),
+            classes: 10,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn selection_never_empties_a_site(
+        scores in arb_scores(),
+        threshold in 0.0f64..12.0,
+    ) {
+        let sel = select_filters(&scores, &PruneStrategy::Threshold { threshold }).unwrap();
+        for (site, removed) in scores.sites.iter().zip(&sel.remove) {
+            prop_assert!(removed.len() < site.scores.len().max(1) || site.scores.is_empty());
+        }
+    }
+
+    #[test]
+    fn percentage_cap_is_respected(
+        scores in arb_scores(),
+        fraction in 0.01f64..0.99,
+    ) {
+        let sel = select_filters(&scores, &PruneStrategy::Percentage { fraction }).unwrap();
+        let total = scores.total_filters();
+        let cap = ((total as f64 * fraction).floor() as usize).max(1);
+        prop_assert!(sel.total_removed() <= cap);
+    }
+
+    #[test]
+    fn combined_is_subset_of_threshold(
+        scores in arb_scores(),
+        threshold in 0.0f64..12.0,
+        max_fraction in 0.01f64..0.99,
+    ) {
+        let thr = select_filters(&scores, &PruneStrategy::Threshold { threshold }).unwrap();
+        let comb = select_filters(
+            &scores,
+            &PruneStrategy::Combined { threshold, max_fraction },
+        )
+        .unwrap();
+        // Everything the combined strategy removes must also be removed by
+        // the pure threshold strategy (the cap only shrinks the set).
+        prop_assert!(comb.total_removed() <= thr.total_removed());
+        for (site_idx, removed) in comb.remove.iter().enumerate() {
+            for f in removed {
+                prop_assert!(
+                    thr.remove[site_idx].contains(f),
+                    "combined removed ({site_idx},{f}) that threshold kept"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn removed_filters_have_lowest_scores(
+        scores in arb_scores(),
+        fraction in 0.05f64..0.5,
+    ) {
+        let sel = select_filters(&scores, &PruneStrategy::Percentage { fraction }).unwrap();
+        // Max removed score <= min kept score + epsilon, per site modulo the
+        // global ordering: globally, every removed score must be <= every
+        // kept score unless keep-1-per-site forced a skip.
+        let mut removed_scores: Vec<f64> = Vec::new();
+        let mut kept_scores: Vec<f64> = Vec::new();
+        for (si, site) in scores.sites.iter().enumerate() {
+            for (fi, &v) in site.scores.iter().enumerate() {
+                if sel.remove[si].contains(&fi) {
+                    removed_scores.push(v);
+                } else {
+                    kept_scores.push(v);
+                }
+            }
+        }
+        if let (Some(max_removed), Some(_)) = (
+            removed_scores.iter().cloned().reduce(f64::max),
+            kept_scores.iter().cloned().reduce(f64::min),
+        ) {
+            // Count how many kept scores are strictly below max_removed that
+            // were NOT protected by the keep-one rule: at most one per site.
+            let violations = kept_scores
+                .iter()
+                .filter(|&&v| v < max_removed - 1e-12)
+                .count();
+            prop_assert!(
+                violations <= scores.sites.len(),
+                "{violations} kept scores below the removal frontier"
+            );
+        }
+    }
+
+    #[test]
+    fn keep_for_is_exact_complement(
+        scores in arb_scores(),
+        fraction in 0.05f64..0.9,
+    ) {
+        let sel = select_filters(&scores, &PruneStrategy::Percentage { fraction }).unwrap();
+        for (si, site) in scores.sites.iter().enumerate() {
+            let keep = sel.keep_for(si, site.scores.len());
+            prop_assert_eq!(keep.len() + sel.remove[si].len(), site.scores.len());
+            for f in &keep {
+                prop_assert!(!sel.remove[si].contains(f));
+            }
+            // Sorted and in range.
+            prop_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(keep.iter().all(|&f| f < site.scores.len()));
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_filter_count(scores in arb_scores()) {
+        let h = ScoreHistogram::from_scores(&scores);
+        prop_assert_eq!(h.total(), scores.total_filters());
+        prop_assert!(h.low_fraction() >= 0.0 && h.low_fraction() <= 1.0);
+        prop_assert!(h.polarization() <= 1.0 + 1e-12);
+    }
+}

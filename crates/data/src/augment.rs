@@ -1,0 +1,115 @@
+//! Light data augmentation used during fine-tuning: horizontal flips and
+//! small crops/shifts, the standard CIFAR recipe.
+
+use cap_tensor::Tensor;
+use rand::Rng;
+
+/// Returns a copy of the batch where each sample is horizontally flipped
+/// with probability `p`.
+///
+/// Inputs that are not `[N, C, H, W]` are returned unchanged (augmentation
+/// is best-effort by design; shape errors surface later in the pipeline).
+pub fn random_horizontal_flip(images: &Tensor, p: f64, rng: &mut impl Rng) -> Tensor {
+    if images.ndim() != 4 {
+        return images.clone();
+    }
+    let (n, c, h, w) = (images.dim(0), images.dim(1), images.dim(2), images.dim(3));
+    let mut out = images.clone();
+    for s in 0..n {
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            for ch in 0..c {
+                for row in 0..h {
+                    for col in 0..w / 2 {
+                        let a = out.offset4(s, ch, row, col);
+                        let b = out.offset4(s, ch, row, w - 1 - col);
+                        out.data_mut().swap(a, b);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Returns a copy of the batch where each sample is shifted by a uniform
+/// offset in `[-max_shift, +max_shift]` per axis, zero-filling the border
+/// (equivalent to the usual pad-and-crop augmentation).
+///
+/// Non-4-D inputs are returned unchanged.
+pub fn random_crop_shift(images: &Tensor, max_shift: usize, rng: &mut impl Rng) -> Tensor {
+    if images.ndim() != 4 || max_shift == 0 {
+        return images.clone();
+    }
+    let (n, c, h, w) = (images.dim(0), images.dim(1), images.dim(2), images.dim(3));
+    let ms = max_shift as i64;
+    let mut out = Tensor::zeros(images.shape());
+    for s in 0..n {
+        let dy = rng.gen_range(-ms..=ms);
+        let dx = rng.gen_range(-ms..=ms);
+        for ch in 0..c {
+            for row in 0..h {
+                let src_row = row as i64 - dy;
+                if src_row < 0 || src_row >= h as i64 {
+                    continue;
+                }
+                for col in 0..w {
+                    let src_col = col as i64 - dx;
+                    if src_col < 0 || src_col >= w as i64 {
+                        continue;
+                    }
+                    let v = images.at4(s, ch, src_row as usize, src_col as usize);
+                    out.set4(s, ch, row, col, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flip_with_p1_reverses_columns() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let x = Tensor::from_fn(&[1, 1, 1, 4], |i| i as f32);
+        let y = random_horizontal_flip(&x, 1.0, &mut rng);
+        assert_eq!(y.data(), &[3.0, 2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn flip_with_p0_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let x = Tensor::from_fn(&[2, 1, 2, 2], |i| i as f32);
+        assert_eq!(random_horizontal_flip(&x, 0.0, &mut rng), x);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let mut rng1 = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(2);
+        let x = Tensor::from_fn(&[1, 2, 3, 3], |i| (i as f32).sin());
+        let y = random_horizontal_flip(&x, 1.0, &mut rng1);
+        let z = random_horizontal_flip(&y, 1.0, &mut rng2);
+        assert_eq!(z, x);
+    }
+
+    #[test]
+    fn shift_preserves_mass_upper_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Tensor::ones(&[4, 1, 5, 5]);
+        let y = random_crop_shift(&x, 2, &mut rng);
+        // Shifting can only remove mass (zero fill), never add.
+        assert!(cap_tensor::sum_all(&y) <= cap_tensor::sum_all(&x) + 1e-9);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn zero_shift_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let x = Tensor::from_fn(&[1, 1, 3, 3], |i| i as f32);
+        assert_eq!(random_crop_shift(&x, 0, &mut rng), x);
+    }
+}

@@ -1,0 +1,195 @@
+use crate::DataError;
+use cap_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled image dataset: images `[N, C, H, W]` plus class labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shape/label consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] if `images` is not 4-D, counts
+    /// differ, or any label is `>= classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Result<Self, DataError> {
+        if images.ndim() != 4 {
+            return Err(DataError::Inconsistent {
+                reason: format!("images must be [N,C,H,W], got {:?}", images.shape()),
+            });
+        }
+        if images.dim(0) != labels.len() {
+            return Err(DataError::Inconsistent {
+                reason: format!("{} images vs {} labels", images.dim(0), labels.len()),
+            });
+        }
+        if classes == 0 || labels.iter().any(|&l| l >= classes) {
+            return Err(DataError::Inconsistent {
+                reason: format!("labels must lie in 0..{classes}"),
+            });
+        }
+        Ok(Dataset {
+            images,
+            labels,
+            classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The image tensor `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, aligned with the first image dimension.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Indices of all samples with class `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NoSuchClass`] if `class >= classes`.
+    pub fn indices_of_class(&self, class: usize) -> Result<Vec<usize>, DataError> {
+        if class >= self.classes {
+            return Err(DataError::NoSuchClass {
+                class,
+                classes: self.classes,
+            });
+        }
+        Ok(self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect())
+    }
+
+    /// Randomly selects up to `m` samples of `class` and returns them as a
+    /// batch tensor `[m', C, H, W]` (`m' = min(m, population)`), the
+    /// selection the paper's importance scoring uses ("a given number of
+    /// images of this class in the training data are randomly selected").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NoSuchClass`] for an invalid class and
+    /// [`DataError::Inconsistent`] if the class has no samples.
+    pub fn sample_class_batch(
+        &self,
+        class: usize,
+        m: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Tensor, DataError> {
+        let mut idx = self.indices_of_class(class)?;
+        if idx.is_empty() {
+            return Err(DataError::Inconsistent {
+                reason: format!("class {class} has no samples"),
+            });
+        }
+        idx.shuffle(rng);
+        idx.truncate(m.max(1));
+        let sample: usize = self.images.shape()[1..].iter().product();
+        let mut shape = self.images.shape().to_vec();
+        shape[0] = idx.len();
+        let mut out = Tensor::zeros(&shape);
+        for (bi, &src) in idx.iter().enumerate() {
+            out.data_mut()[bi * sample..(bi + 1) * sample]
+                .copy_from_slice(&self.images.data()[src * sample..(src + 1) * sample]);
+        }
+        Ok(out)
+    }
+
+    /// Returns a new dataset containing only the samples at `indices`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::Inconsistent`] for out-of-range indices.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset, DataError> {
+        let sample: usize = self.images.shape()[1..].iter().product();
+        let mut shape = self.images.shape().to_vec();
+        shape[0] = indices.len();
+        let mut imgs = Tensor::zeros(&shape);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (bi, &src) in indices.iter().enumerate() {
+            if src >= self.len() {
+                return Err(DataError::Inconsistent {
+                    reason: format!("index {src} out of range for {} samples", self.len()),
+                });
+            }
+            imgs.data_mut()[bi * sample..(bi + 1) * sample]
+                .copy_from_slice(&self.images.data()[src * sample..(src + 1) * sample]);
+            labels.push(self.labels[src]);
+        }
+        Dataset::new(imgs, labels, self.classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let images = Tensor::from_fn(&[6, 1, 2, 2], |i| i as f32);
+        Dataset::new(images, vec![0, 1, 0, 1, 2, 2], 3).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let images = Tensor::zeros(&[2, 1, 2, 2]);
+        assert!(Dataset::new(images.clone(), vec![0], 2).is_err());
+        assert!(Dataset::new(images.clone(), vec![0, 5], 2).is_err());
+        assert!(Dataset::new(Tensor::zeros(&[2, 4]), vec![0, 1], 2).is_err());
+        assert!(Dataset::new(images, vec![0, 1], 2).is_ok());
+    }
+
+    #[test]
+    fn class_indices() {
+        let d = toy();
+        assert_eq!(d.indices_of_class(0).unwrap(), vec![0, 2]);
+        assert_eq!(d.indices_of_class(2).unwrap(), vec![4, 5]);
+        assert!(d.indices_of_class(3).is_err());
+    }
+
+    #[test]
+    fn class_batch_sampling() {
+        let d = toy();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let b = d.sample_class_batch(0, 10, &mut rng).unwrap();
+        assert_eq!(b.dim(0), 2); // only 2 available
+        let b1 = d.sample_class_batch(1, 1, &mut rng).unwrap();
+        assert_eq!(b1.dim(0), 1);
+    }
+
+    #[test]
+    fn subset_selects() {
+        let d = toy();
+        let s = d.subset(&[4, 0]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.labels(), &[2, 0]);
+        assert_eq!(s.images().data()[0], 16.0);
+        assert!(d.subset(&[9]).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by dataset construction and sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A specification field is out of range.
+    InvalidSpec {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Construction data is inconsistent (image/label counts differ, a
+    /// label is out of range, ...).
+    Inconsistent {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A request referenced a class that does not exist.
+    NoSuchClass {
+        /// The requested class.
+        class: usize,
+        /// Number of classes in the dataset.
+        classes: usize,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidSpec { reason } => write!(f, "invalid dataset spec: {reason}"),
+            DataError::Inconsistent { reason } => write!(f, "inconsistent dataset: {reason}"),
+            DataError::NoSuchClass { class, classes } => {
+                write!(f, "class {class} out of range for {classes} classes")
+            }
+        }
+    }
+}
+
+impl Error for DataError {}

@@ -1,0 +1,173 @@
+//! Binary serialisation for [`Dataset`]s.
+//!
+//! Synthetic datasets are cheap to regenerate, but fixed binary snapshots
+//! make experiments portable across machines and guard against generator
+//! changes silently shifting results. The format is little-endian:
+//! magic, version, classes, shape, images, labels.
+
+use crate::{DataError, Dataset};
+use cap_tensor::Tensor;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"CAPD";
+const VERSION: u32 = 1;
+
+/// Writes `dataset` to `w` (a `&mut` reference works).
+///
+/// # Errors
+///
+/// Returns [`DataError::Inconsistent`] wrapping I/O failures.
+pub fn save_dataset<W: Write>(dataset: &Dataset, mut w: W) -> Result<(), DataError> {
+    let io_err = |e: std::io::Error| DataError::Inconsistent {
+        reason: format!("i/o error while saving: {e}"),
+    };
+    w.write_all(MAGIC).map_err(io_err)?;
+    w.write_all(&VERSION.to_le_bytes()).map_err(io_err)?;
+    w.write_all(&(dataset.classes() as u64).to_le_bytes())
+        .map_err(io_err)?;
+    let shape = dataset.images().shape();
+    w.write_all(&(shape.len() as u32).to_le_bytes())
+        .map_err(io_err)?;
+    for &d in shape {
+        w.write_all(&(d as u64).to_le_bytes()).map_err(io_err)?;
+    }
+    for &v in dataset.images().data() {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    for &label in dataset.labels() {
+        w.write_all(&(label as u64).to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a dataset previously written by [`save_dataset`].
+///
+/// # Errors
+///
+/// Returns [`DataError::Inconsistent`] for malformed input (bad magic,
+/// unsupported version, implausible sizes, truncation) and for label /
+/// shape inconsistencies.
+pub fn load_dataset<R: Read>(mut r: R) -> Result<Dataset, DataError> {
+    let io_err = |e: std::io::Error| DataError::Inconsistent {
+        reason: format!("i/o error while loading: {e}"),
+    };
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic).map_err(io_err)?;
+    if &magic != MAGIC {
+        return Err(DataError::Inconsistent {
+            reason: "not a cap dataset file (bad magic)".to_string(),
+        });
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf).map_err(io_err)?;
+    let version = u32::from_le_bytes(u32buf);
+    if version != VERSION {
+        return Err(DataError::Inconsistent {
+            reason: format!("unsupported dataset version {version}"),
+        });
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf).map_err(io_err)?;
+    let classes = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u32buf).map_err(io_err)?;
+    let ndim = u32::from_le_bytes(u32buf) as usize;
+    if ndim != 4 {
+        return Err(DataError::Inconsistent {
+            reason: format!("dataset images must be 4-D, file says {ndim}-D"),
+        });
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        r.read_exact(&mut u64buf).map_err(io_err)?;
+        let d = u64::from_le_bytes(u64buf) as usize;
+        if d > 1 << 28 {
+            return Err(DataError::Inconsistent {
+                reason: format!("implausible dimension {d}"),
+            });
+        }
+        shape.push(d);
+    }
+    let numel: usize = shape.iter().product();
+    if numel > 1 << 30 {
+        return Err(DataError::Inconsistent {
+            reason: format!("implausible element count {numel}"),
+        });
+    }
+    let mut data = vec![0f32; numel];
+    let mut f32buf = [0u8; 4];
+    for v in &mut data {
+        r.read_exact(&mut f32buf).map_err(io_err)?;
+        *v = f32::from_le_bytes(f32buf);
+    }
+    let n = shape[0];
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        r.read_exact(&mut u64buf).map_err(io_err)?;
+        labels.push(u64::from_le_bytes(u64buf) as usize);
+    }
+    let images = Tensor::from_vec(shape, data).map_err(|e| DataError::Inconsistent {
+        reason: e.to_string(),
+    })?;
+    Dataset::new(images, labels, classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetSpec, SyntheticDataset};
+
+    fn toy() -> Dataset {
+        SyntheticDataset::generate(
+            &DatasetSpec::cifar10_like()
+                .with_image_size(5)
+                .with_counts(2, 1),
+        )
+        .unwrap()
+        .train()
+        .clone()
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let d = toy();
+        let mut buf = Vec::new();
+        save_dataset(&d, &mut buf).unwrap();
+        let restored = load_dataset(buf.as_slice()).unwrap();
+        assert_eq!(&restored, &d);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"XXXX123456789".to_vec();
+        assert!(load_dataset(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let d = toy();
+        let mut buf = Vec::new();
+        save_dataset(&d, &mut buf).unwrap();
+        buf.truncate(buf.len() - 9);
+        assert!(load_dataset(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let d = toy();
+        let mut buf = Vec::new();
+        save_dataset(&d, &mut buf).unwrap();
+        buf[4] = 9;
+        assert!(load_dataset(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_label_detected() {
+        let d = toy();
+        let mut buf = Vec::new();
+        save_dataset(&d, &mut buf).unwrap();
+        // Labels live at the tail; blast the final u64 to a huge value.
+        let len = buf.len();
+        buf[len - 8..].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(load_dataset(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+use crate::{DataError, Dataset};
+use cap_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a synthetic class-structured dataset.
+///
+/// Defaults mirror the experiments' working scale: 3 channels, 16×16
+/// images, 64 train / 16 test samples per class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Number of classes (10 for the CIFAR-10 stand-in, 100 for CIFAR-100).
+    pub classes: usize,
+    /// Image side length (CIFAR is 32; experiments default to 16 for CPU).
+    pub image_size: usize,
+    /// Number of channels (3, like CIFAR RGB).
+    pub channels: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Standard deviation of additive pixel noise.
+    pub noise_std: f32,
+    /// Maximum absolute spatial shift of the prototype (pixels).
+    pub max_shift: usize,
+    /// Master seed; class prototypes and samples derive from it.
+    pub seed: u64,
+}
+
+impl Default for DatasetSpec {
+    fn default() -> Self {
+        DatasetSpec::cifar10_like()
+    }
+}
+
+impl DatasetSpec {
+    /// 10-class stand-in for CIFAR-10.
+    pub fn cifar10_like() -> Self {
+        DatasetSpec {
+            classes: 10,
+            image_size: 16,
+            channels: 3,
+            train_per_class: 64,
+            test_per_class: 16,
+            noise_std: 0.2,
+            max_shift: 1,
+            seed: 0xC1FA_0010,
+        }
+    }
+
+    /// 100-class stand-in for CIFAR-100.
+    pub fn cifar100_like() -> Self {
+        DatasetSpec {
+            classes: 100,
+            image_size: 16,
+            channels: 3,
+            train_per_class: 16,
+            test_per_class: 4,
+            noise_std: 0.2,
+            max_shift: 1,
+            seed: 0xC1FA_0100,
+        }
+    }
+
+    /// Returns the spec with a different image side length.
+    pub fn with_image_size(mut self, side: usize) -> Self {
+        self.image_size = side;
+        self
+    }
+
+    /// Returns the spec with different per-class sample counts.
+    pub fn with_counts(mut self, train_per_class: usize, test_per_class: usize) -> Self {
+        self.train_per_class = train_per_class;
+        self.test_per_class = test_per_class;
+        self
+    }
+
+    /// Returns the spec with a different master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) -> Result<(), DataError> {
+        if self.classes == 0
+            || self.image_size == 0
+            || self.channels == 0
+            || self.train_per_class == 0
+            || self.test_per_class == 0
+        {
+            return Err(DataError::InvalidSpec {
+                reason: "all counts and sizes must be non-zero".to_string(),
+            });
+        }
+        if self.max_shift >= self.image_size {
+            return Err(DataError::InvalidSpec {
+                reason: format!(
+                    "max_shift {} must be smaller than image size {}",
+                    self.max_shift, self.image_size
+                ),
+            });
+        }
+        if !(self.noise_std.is_finite() && self.noise_std >= 0.0) {
+            return Err(DataError::InvalidSpec {
+                reason: format!(
+                    "noise_std {} must be finite and non-negative",
+                    self.noise_std
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of one sinusoidal component of a class prototype.
+#[derive(Debug, Clone, Copy)]
+struct Wave {
+    fx: f32,
+    fy: f32,
+    phase: f32,
+    amp: f32,
+}
+
+/// A generated train/test pair of [`Dataset`]s.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    train: Dataset,
+    test: Dataset,
+    spec: DatasetSpec,
+}
+
+impl SyntheticDataset {
+    /// Generates the dataset described by `spec`, deterministically in the
+    /// spec's seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] for degenerate specifications.
+    pub fn generate(spec: &DatasetSpec) -> Result<Self, DataError> {
+        spec.validate()?;
+        // Per-class, per-channel prototype waves, seeded by (seed, class).
+        let prototypes: Vec<Vec<Vec<Wave>>> = (0..spec.classes)
+            .map(|class| {
+                let mut rng = StdRng::seed_from_u64(
+                    spec.seed ^ (class as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                (0..spec.channels)
+                    .map(|_| {
+                        (0..3)
+                            .map(|_| Wave {
+                                fx: rng.gen_range(0.3..1.6),
+                                fy: rng.gen_range(0.3..1.6),
+                                phase: rng.gen_range(0.0..std::f32::consts::TAU),
+                                amp: rng.gen_range(0.4..1.0),
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let train = Self::render_split(spec, &prototypes, spec.train_per_class, 0)?;
+        let test = Self::render_split(spec, &prototypes, spec.test_per_class, 1)?;
+        Ok(SyntheticDataset {
+            train,
+            test,
+            spec: *spec,
+        })
+    }
+
+    fn render_split(
+        spec: &DatasetSpec,
+        prototypes: &[Vec<Vec<Wave>>],
+        per_class: usize,
+        split_tag: u64,
+    ) -> Result<Dataset, DataError> {
+        let side = spec.image_size;
+        let n = spec.classes * per_class;
+        let mut images = Tensor::zeros(&[n, spec.channels, side, side]);
+        let mut labels = Vec::with_capacity(n);
+        let mut s = 0usize;
+        #[allow(clippy::needless_range_loop)] // class also seeds the RNG
+        for class in 0..spec.classes {
+            let mut rng = StdRng::seed_from_u64(
+                spec.seed.wrapping_add(split_tag.wrapping_mul(0xDEAD_BEEF))
+                    ^ (class as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+            );
+            for _ in 0..per_class {
+                let dx = rng.gen_range(-(spec.max_shift as i32)..=spec.max_shift as i32);
+                let dy = rng.gen_range(-(spec.max_shift as i32)..=spec.max_shift as i32);
+                let gain: f32 = rng.gen_range(0.8..1.2);
+                #[allow(clippy::needless_range_loop)] // c also computes the linear offset
+                for c in 0..spec.channels {
+                    for h in 0..side {
+                        for w in 0..side {
+                            let y = (h as i32 + dy) as f32 / side as f32;
+                            let x = (w as i32 + dx) as f32 / side as f32;
+                            let mut v = 0.0f32;
+                            for wave in &prototypes[class][c] {
+                                v += wave.amp
+                                    * (std::f32::consts::TAU * (wave.fx * x + wave.fy * y)
+                                        + wave.phase)
+                                        .sin();
+                            }
+                            let noise: f32 = if spec.noise_std > 0.0 {
+                                // Box-Muller on two uniforms.
+                                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                                let u2: f32 = rng.gen_range(0.0..1.0);
+                                spec.noise_std
+                                    * (-2.0 * u1.ln()).sqrt()
+                                    * (std::f32::consts::TAU * u2).cos()
+                            } else {
+                                0.0
+                            };
+                            let idx = ((s * spec.channels + c) * side + h) * side + w;
+                            images.data_mut()[idx] = gain * v + noise;
+                        }
+                    }
+                }
+                labels.push(class);
+                s += 1;
+            }
+        }
+        Dataset::new(images, labels, spec.classes)
+    }
+
+    /// The training split.
+    pub fn train(&self) -> &Dataset {
+        &self.train
+    }
+
+    /// The test split.
+    pub fn test(&self) -> &Dataset {
+        &self.test
+    }
+
+    /// The generating specification.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec::cifar10_like()
+            .with_image_size(8)
+            .with_counts(6, 2)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticDataset::generate(&tiny_spec()).unwrap();
+        let b = SyntheticDataset::generate(&tiny_spec()).unwrap();
+        assert_eq!(a.train().images(), b.train().images());
+        assert_eq!(a.test().labels(), b.test().labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SyntheticDataset::generate(&tiny_spec()).unwrap();
+        let b = SyntheticDataset::generate(&tiny_spec().with_seed(99)).unwrap();
+        assert_ne!(a.train().images(), b.train().images());
+    }
+
+    #[test]
+    fn splits_have_expected_shape() {
+        let d = SyntheticDataset::generate(&tiny_spec()).unwrap();
+        assert_eq!(d.train().images().shape(), &[60, 3, 8, 8]);
+        assert_eq!(d.test().images().shape(), &[20, 3, 8, 8]);
+        assert_eq!(d.train().classes(), 10);
+        for class in 0..10 {
+            assert_eq!(d.train().indices_of_class(class).unwrap().len(), 6);
+        }
+    }
+
+    #[test]
+    fn train_and_test_are_distinct_samples() {
+        let d = SyntheticDataset::generate(&tiny_spec()).unwrap();
+        // Same class prototypes, but different draws.
+        assert_ne!(
+            &d.train().images().data()[..192],
+            &d.test().images().data()[..192]
+        );
+    }
+
+    #[test]
+    fn classes_are_structurally_distinct() {
+        // Mean inter-class L2 distance between class means must exceed the
+        // mean intra-class distance: the classes carry signal.
+        let d = SyntheticDataset::generate(&tiny_spec()).unwrap();
+        let tr = d.train();
+        let sample = 3 * 8 * 8;
+        let class_mean = |class: usize| -> Vec<f64> {
+            let idx = tr.indices_of_class(class).unwrap();
+            let mut mean = vec![0.0f64; sample];
+            for &i in &idx {
+                for (m, &v) in mean
+                    .iter_mut()
+                    .zip(&tr.images().data()[i * sample..(i + 1) * sample])
+                {
+                    *m += f64::from(v);
+                }
+            }
+            for m in &mut mean {
+                *m /= idx.len() as f64;
+            }
+            mean
+        };
+        let m0 = class_mean(0);
+        let m1 = class_mean(1);
+        let inter: f64 = m0
+            .iter()
+            .zip(&m1)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        // Intra-class: distance of one sample to its own class mean.
+        let idx0 = tr.indices_of_class(0).unwrap();
+        let s0 = &tr.images().data()[idx0[0] * sample..(idx0[0] + 1) * sample];
+        let intra: f64 = s0
+            .iter()
+            .zip(&m0)
+            .map(|(&a, b)| (f64::from(a) - b) * (f64::from(a) - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            inter > intra * 0.8,
+            "inter {inter} should rival intra {intra}"
+        );
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(SyntheticDataset::generate(&tiny_spec().with_counts(0, 1)).is_err());
+        assert!(SyntheticDataset::generate(&tiny_spec().with_image_size(0)).is_err());
+        let mut bad = tiny_spec();
+        bad.max_shift = 8;
+        assert!(SyntheticDataset::generate(&bad).is_err());
+        let mut bad2 = tiny_spec();
+        bad2.noise_std = -1.0;
+        assert!(SyntheticDataset::generate(&bad2).is_err());
+    }
+
+    #[test]
+    fn cifar100_like_has_100_classes() {
+        let spec = DatasetSpec::cifar100_like()
+            .with_image_size(8)
+            .with_counts(2, 1);
+        let d = SyntheticDataset::generate(&spec).unwrap();
+        assert_eq!(d.train().classes(), 100);
+        assert_eq!(d.train().len(), 200);
+    }
+}

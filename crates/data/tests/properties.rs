@@ -1,0 +1,97 @@
+//! Property-based tests on dataset generation invariants.
+
+use cap_data::{random_crop_shift, random_horizontal_flip, DatasetSpec, SyntheticDataset};
+use cap_tensor::Tensor;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_shape_invariants(
+        classes in 2usize..8,
+        side in 4usize..10,
+        train in 2usize..6,
+        test in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let spec = DatasetSpec {
+            classes,
+            image_size: side,
+            channels: 3,
+            train_per_class: train,
+            test_per_class: test,
+            noise_std: 0.2,
+            max_shift: 1,
+            seed,
+        };
+        let d = SyntheticDataset::generate(&spec).unwrap();
+        prop_assert_eq!(d.train().len(), classes * train);
+        prop_assert_eq!(d.test().len(), classes * test);
+        prop_assert_eq!(d.train().images().shape(), &[classes * train, 3, side, side]);
+        // Every class fully populated and labels in range.
+        for class in 0..classes {
+            prop_assert_eq!(d.train().indices_of_class(class).unwrap().len(), train);
+        }
+        prop_assert!(d.train().labels().iter().all(|&l| l < classes));
+        // All pixels finite.
+        prop_assert!(d.train().images().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn same_seed_same_data(seed in 0u64..1000) {
+        let spec = DatasetSpec::cifar10_like()
+            .with_image_size(6)
+            .with_counts(2, 1)
+            .with_seed(seed);
+        let a = SyntheticDataset::generate(&spec).unwrap();
+        let b = SyntheticDataset::generate(&spec).unwrap();
+        prop_assert_eq!(a.train().images(), b.train().images());
+    }
+
+    #[test]
+    fn flip_preserves_pixel_multiset(seed in 0u64..1000) {
+        let x = cap_tensor::randn(
+            &[2, 3, 4, 4],
+            0.0,
+            1.0,
+            &mut rand::rngs::StdRng::seed_from_u64(seed),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 1);
+        let y = random_horizontal_flip(&x, 0.7, &mut rng);
+        let mut a: Vec<f32> = x.data().to_vec();
+        let mut b: Vec<f32> = y.data().to_vec();
+        a.sort_by(f32::total_cmp);
+        b.sort_by(f32::total_cmp);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shift_preserves_shape_and_boundedness(
+        seed in 0u64..1000,
+        max_shift in 0usize..3,
+    ) {
+        let x = Tensor::from_fn(&[1, 2, 5, 5], |i| ((i % 7) as f32) - 3.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let y = random_crop_shift(&x, max_shift, &mut rng);
+        prop_assert_eq!(y.shape(), x.shape());
+        let in_max = cap_tensor::max_all(&x).unwrap().max(0.0);
+        let out_max = cap_tensor::max_all(&y).unwrap();
+        prop_assert!(out_max <= in_max + 1e-6);
+    }
+
+    #[test]
+    fn subset_then_subset_composes(seed in 0u64..100) {
+        let spec = DatasetSpec::cifar10_like()
+            .with_image_size(5)
+            .with_counts(3, 1)
+            .with_seed(seed);
+        let d = SyntheticDataset::generate(&spec).unwrap();
+        let first = d.train().subset(&[0, 5, 10, 15]).unwrap();
+        let second = first.subset(&[1, 3]).unwrap();
+        let direct = d.train().subset(&[5, 15]).unwrap();
+        prop_assert_eq!(second.images(), direct.images());
+        prop_assert_eq!(second.labels(), direct.labels());
+    }
+}

@@ -1,0 +1,128 @@
+use crate::ModelConfig;
+use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu, ResidualBlock};
+use cap_nn::{Network, NnError};
+use rand::Rng;
+
+/// Builds a CIFAR-style ResNet with `blocks_per_stage` basic blocks in
+/// each of the three stages (16→32→64 canonical channels), i.e. a
+/// `6·n + 2`-layer network. `n = 9` gives ResNet56.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for an invalid `cfg` or
+/// `blocks_per_stage == 0`.
+pub fn resnet_cifar(
+    blocks_per_stage: usize,
+    cfg: &ModelConfig,
+    rng: &mut impl Rng,
+) -> Result<Network, NnError> {
+    cfg.validate()?;
+    if blocks_per_stage == 0 {
+        return Err(NnError::InvalidConfig {
+            reason: "resnet needs at least one block per stage".to_string(),
+        });
+    }
+    let c1 = cfg.scaled(16);
+    let c2 = cfg.scaled(32);
+    let c3 = cfg.scaled(64);
+    let mut net = Network::new();
+    net.push(Conv2d::new(cfg.in_channels, c1, 3, 1, 1, false, rng)?);
+    net.push(BatchNorm2d::new(c1)?);
+    net.push(Relu::new());
+    let mut in_c = c1;
+    for (stage, &out_c) in [c1, c2, c3].iter().enumerate() {
+        for b in 0..blocks_per_stage {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            net.push(ResidualBlock::new(in_c, out_c, stride, rng)?);
+            in_c = out_c;
+        }
+    }
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(c3, cfg.classes, rng)?);
+    Ok(net)
+}
+
+/// ResNet56: 9 basic blocks per stage (the paper's CIFAR model).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for an invalid `cfg`.
+pub fn resnet56(cfg: &ModelConfig, rng: &mut impl Rng) -> Result<Network, NnError> {
+    resnet_cifar(9, cfg, rng)
+}
+
+/// ResNet20: 3 basic blocks per stage (a faster stand-in for smoke tests
+/// and benches).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] for an invalid `cfg`.
+pub fn resnet20(cfg: &ModelConfig, rng: &mut impl Rng) -> Result<Network, NnError> {
+    resnet_cifar(3, cfg, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_nn::layer::Layer;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn resnet56_block_and_conv_counts() {
+        let cfg = ModelConfig::new(10).with_width(0.25);
+        let net = resnet56(&cfg, &mut rng()).unwrap();
+        let blocks = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l, Layer::Residual(_)))
+            .count();
+        assert_eq!(blocks, 27);
+        // 1 stem + 27 * 2 block convs + 2 projection shortcuts = 57.
+        assert_eq!(net.conv_count(), 57);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let cfg = ModelConfig::new(10).with_width(0.25).with_image_size(16);
+        let mut net = resnet20(&cfg, &mut rng()).unwrap();
+        let x = cap_tensor::Tensor::zeros(&[2, 3, 16, 16]);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn stage_transitions_downsample() {
+        // With 16x16 input and two stride-2 stages the final feature map is
+        // 4x4; GAP then collapses it, so forward must succeed end to end in
+        // training mode and backward must return the input gradient.
+        let cfg = ModelConfig::new(5).with_width(0.25).with_image_size(16);
+        let mut net = resnet20(&cfg, &mut rng()).unwrap();
+        let x = cap_tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng());
+        let y = net.forward(&x, true).unwrap();
+        let gin = net.backward(&cap_tensor::Tensor::ones(y.shape())).unwrap();
+        assert_eq!(gin.shape(), x.shape());
+    }
+
+    #[test]
+    fn full_width_is_canonical_16_32_64() {
+        let cfg = ModelConfig::new(10).with_width(1.0);
+        let net = resnet20(&cfg, &mut rng()).unwrap();
+        let mut widths = Vec::new();
+        for l in net.layers() {
+            if let Layer::Residual(r) = l {
+                widths.push(r.out_channels());
+            }
+        }
+        assert_eq!(widths, vec![16, 16, 16, 32, 32, 32, 64, 64, 64]);
+    }
+
+    #[test]
+    fn zero_blocks_rejected() {
+        let cfg = ModelConfig::new(10);
+        assert!(resnet_cifar(0, &cfg, &mut rng()).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end learnability check: the scaled models must fit the
+//! synthetic class-structured data well above chance, otherwise the
+//! pruning experiments are meaningless.
+
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_models::{resnet20, vgg16, ModelConfig};
+use cap_nn::{evaluate, fit, RegularizerConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn spec() -> DatasetSpec {
+    DatasetSpec::cifar10_like()
+        .with_image_size(12)
+        .with_counts(24, 8)
+}
+
+fn train_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        batch_size: 24,
+        lr: 0.02,
+        lr_decay: 0.97,
+        regularizer: RegularizerConfig::none(),
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn vgg16_learns_synthetic_classes() {
+    let data = SyntheticDataset::generate(&spec()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let cfg = ModelConfig::new(10).with_width(0.125).with_image_size(12);
+    let mut net = vgg16(&cfg, &mut rng).unwrap();
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &train_cfg(8),
+    )
+    .unwrap();
+    let acc = evaluate(&mut net, data.test().images(), data.test().labels(), 32).unwrap();
+    assert!(
+        acc > 0.5,
+        "vgg16 test accuracy {acc} should beat 0.5 (chance 0.1)"
+    );
+}
+
+#[test]
+fn resnet_learns_synthetic_classes() {
+    let data = SyntheticDataset::generate(&spec()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let cfg = ModelConfig::new(10).with_width(0.25).with_image_size(12);
+    let mut net = resnet20(&cfg, &mut rng).unwrap();
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &train_cfg(8),
+    )
+    .unwrap();
+    let acc = evaluate(&mut net, data.test().images(), data.test().labels(), 32).unwrap();
+    assert!(
+        acc > 0.5,
+        "resnet test accuracy {acc} should beat 0.5 (chance 0.1)"
+    );
+}

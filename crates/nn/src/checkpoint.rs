@@ -1,0 +1,496 @@
+//! Binary checkpointing for [`Network`]s.
+//!
+//! Pruning experiments repeatedly reuse a pre-trained model; this module
+//! serialises a network's full inference state (weights, biases,
+//! batch-norm statistics and structural hyper-parameters — not optimiser
+//! state or forward caches) to a compact versioned little-endian binary
+//! format.
+//!
+//! # Example
+//!
+//! ```
+//! use cap_nn::layer::{Conv2d, GlobalAvgPool, Linear, Relu};
+//! use cap_nn::{checkpoint, Network};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Network::new();
+//! net.push(Conv2d::new(3, 4, 3, 1, 1, true, &mut rng)?);
+//! net.push(Relu::new());
+//! net.push(GlobalAvgPool::new());
+//! net.push(Linear::new(4, 2, &mut rng)?);
+//!
+//! let mut buf = Vec::new();
+//! checkpoint::save(&net, &mut buf)?;
+//! let restored = checkpoint::load(buf.as_slice())?;
+//! assert_eq!(restored.num_params(), net.num_params());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::layer::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Relu, ResidualBlock,
+};
+use crate::{Network, NnError};
+use cap_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"CAPN";
+const VERSION: u32 = 1;
+
+/// Errors produced by checkpoint serialisation.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// An I/O operation failed.
+    Io(std::io::Error),
+    /// The stream does not start with the checkpoint magic.
+    BadMagic,
+    /// The checkpoint was written by an unsupported format version.
+    UnsupportedVersion {
+        /// The version found in the stream.
+        found: u32,
+    },
+    /// The stream is structurally invalid (unknown tags, bad lengths).
+    Corrupt {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Reassembling a layer from parts failed.
+    Nn(NnError),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a cap checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (supported: {VERSION})"
+                )
+            }
+            CheckpointError::Corrupt { reason } => write!(f, "corrupt checkpoint: {reason}"),
+            CheckpointError::Nn(e) => write!(f, "invalid layer in checkpoint: {e}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            CheckpointError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<NnError> for CheckpointError {
+    fn from(e: NnError) -> Self {
+        CheckpointError::Nn(e)
+    }
+}
+
+// Layer tags.
+const TAG_CONV: u8 = 1;
+const TAG_BN: u8 = 2;
+const TAG_RELU: u8 = 3;
+const TAG_MAXPOOL: u8 = 4;
+const TAG_GAP: u8 = 5;
+const TAG_FLATTEN: u8 = 6;
+const TAG_LINEAR: u8 = 7;
+const TAG_RESIDUAL: u8 = 8;
+
+/// Saves `net` to `w`. A `&mut` reference works as the writer.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on write failures.
+pub fn save<W: Write>(net: &Network, mut w: W) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u64(&mut w, net.layers().len() as u64)?;
+    for layer in net.layers() {
+        save_layer(layer, &mut w)?;
+    }
+    Ok(())
+}
+
+/// Loads a network from `r`. A `&mut` reference or a byte slice works as
+/// the reader.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadMagic`] /
+/// [`CheckpointError::UnsupportedVersion`] /
+/// [`CheckpointError::Corrupt`] for malformed input and propagates I/O
+/// errors.
+pub fn load<R: Read>(mut r: R) -> Result<Network, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion { found: version });
+    }
+    let count = read_u64(&mut r)? as usize;
+    if count > 1_000_000 {
+        return Err(CheckpointError::Corrupt {
+            reason: format!("implausible layer count {count}"),
+        });
+    }
+    let mut net = Network::new();
+    for _ in 0..count {
+        net.push(load_layer(&mut r)?);
+    }
+    Ok(net)
+}
+
+fn save_layer<W: Write>(layer: &Layer, w: &mut W) -> Result<(), CheckpointError> {
+    match layer {
+        Layer::Conv(c) => {
+            w.write_all(&[TAG_CONV])?;
+            save_conv(c, w)
+        }
+        Layer::BatchNorm(bn) => {
+            w.write_all(&[TAG_BN])?;
+            save_bn(bn, w)
+        }
+        Layer::Relu(_) => Ok(w.write_all(&[TAG_RELU])?),
+        Layer::MaxPool(p) => {
+            w.write_all(&[TAG_MAXPOOL])?;
+            write_u32(w, p.kernel() as u32)?;
+            write_u32(w, p.stride() as u32)?;
+            Ok(())
+        }
+        Layer::GlobalAvgPool(_) => Ok(w.write_all(&[TAG_GAP])?),
+        Layer::Flatten(_) => Ok(w.write_all(&[TAG_FLATTEN])?),
+        Layer::Linear(l) => {
+            w.write_all(&[TAG_LINEAR])?;
+            write_tensor(w, l.weight())?;
+            write_tensor(w, l.bias())?;
+            Ok(())
+        }
+        Layer::Residual(b) => {
+            w.write_all(&[TAG_RESIDUAL])?;
+            save_conv(b.conv1(), w)?;
+            save_bn(b.bn1(), w)?;
+            save_conv(b.conv2(), w)?;
+            save_bn(b.bn2(), w)?;
+            match b.shortcut() {
+                Some((c, bn)) => {
+                    w.write_all(&[1])?;
+                    save_conv(c, w)?;
+                    save_bn(bn, w)
+                }
+                None => Ok(w.write_all(&[0])?),
+            }
+        }
+    }
+}
+
+fn load_layer<R: Read>(r: &mut R) -> Result<Layer, CheckpointError> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    Ok(match tag[0] {
+        TAG_CONV => Layer::Conv(load_conv(r)?),
+        TAG_BN => Layer::BatchNorm(load_bn(r)?),
+        TAG_RELU => Layer::Relu(Relu::new()),
+        TAG_MAXPOOL => {
+            let kernel = read_u32(r)? as usize;
+            let stride = read_u32(r)? as usize;
+            Layer::MaxPool(MaxPool2d::new(kernel, stride)?)
+        }
+        TAG_GAP => Layer::GlobalAvgPool(GlobalAvgPool::new()),
+        TAG_FLATTEN => Layer::Flatten(Flatten::new()),
+        TAG_LINEAR => {
+            let weight = read_tensor(r)?;
+            let bias = read_tensor(r)?;
+            Layer::Linear(Linear::from_parts(weight, bias)?)
+        }
+        TAG_RESIDUAL => {
+            let conv1 = load_conv(r)?;
+            let bn1 = load_bn(r)?;
+            let conv2 = load_conv(r)?;
+            let bn2 = load_bn(r)?;
+            let mut has_shortcut = [0u8; 1];
+            r.read_exact(&mut has_shortcut)?;
+            let shortcut = match has_shortcut[0] {
+                0 => None,
+                1 => Some((load_conv(r)?, load_bn(r)?)),
+                other => {
+                    return Err(CheckpointError::Corrupt {
+                        reason: format!("invalid shortcut flag {other}"),
+                    })
+                }
+            };
+            Layer::Residual(ResidualBlock::from_parts(conv1, bn1, conv2, bn2, shortcut))
+        }
+        other => {
+            return Err(CheckpointError::Corrupt {
+                reason: format!("unknown layer tag {other}"),
+            })
+        }
+    })
+}
+
+fn save_conv<W: Write>(c: &Conv2d, w: &mut W) -> Result<(), CheckpointError> {
+    write_u32(w, c.stride() as u32)?;
+    write_u32(w, c.padding() as u32)?;
+    write_tensor(w, c.weight())?;
+    match c.bias() {
+        Some(b) => {
+            w.write_all(&[1])?;
+            write_tensor(w, b)
+        }
+        None => Ok(w.write_all(&[0])?),
+    }
+}
+
+fn load_conv<R: Read>(r: &mut R) -> Result<Conv2d, CheckpointError> {
+    let stride = read_u32(r)? as usize;
+    let padding = read_u32(r)? as usize;
+    let weight = read_tensor(r)?;
+    let mut has_bias = [0u8; 1];
+    r.read_exact(&mut has_bias)?;
+    let bias = match has_bias[0] {
+        0 => None,
+        1 => Some(read_tensor(r)?),
+        other => {
+            return Err(CheckpointError::Corrupt {
+                reason: format!("invalid bias flag {other}"),
+            })
+        }
+    };
+    Ok(Conv2d::from_parts(weight, bias, stride, padding)?)
+}
+
+fn save_bn<W: Write>(bn: &BatchNorm2d, w: &mut W) -> Result<(), CheckpointError> {
+    write_tensor(w, bn.gamma())?;
+    write_tensor(w, bn.beta())?;
+    write_f64_slice(w, bn.running_mean())?;
+    write_f64_slice(w, bn.running_var())?;
+    Ok(())
+}
+
+fn load_bn<R: Read>(r: &mut R) -> Result<BatchNorm2d, CheckpointError> {
+    let gamma = read_tensor(r)?;
+    let beta = read_tensor(r)?;
+    let mean = read_f64_slice(r)?;
+    let var = read_f64_slice(r)?;
+    Ok(BatchNorm2d::from_parts(gamma, beta, mean, var)?)
+}
+
+fn write_tensor<W: Write>(w: &mut W, t: &Tensor) -> Result<(), CheckpointError> {
+    write_u32(w, t.ndim() as u32)?;
+    for &d in t.shape() {
+        write_u64(w, d as u64)?;
+    }
+    for &v in t.data() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_tensor<R: Read>(r: &mut R) -> Result<Tensor, CheckpointError> {
+    let ndim = read_u32(r)? as usize;
+    if ndim > 8 {
+        return Err(CheckpointError::Corrupt {
+            reason: format!("implausible tensor rank {ndim}"),
+        });
+    }
+    let mut shape = Vec::with_capacity(ndim);
+    for _ in 0..ndim {
+        let d = read_u64(r)? as usize;
+        if d > 1 << 28 {
+            return Err(CheckpointError::Corrupt {
+                reason: format!("implausible dimension {d}"),
+            });
+        }
+        shape.push(d);
+    }
+    let numel: usize = shape.iter().product();
+    if numel > 1 << 30 {
+        return Err(CheckpointError::Corrupt {
+            reason: format!("implausible element count {numel}"),
+        });
+    }
+    let mut data = vec![0f32; numel];
+    let mut buf = [0u8; 4];
+    for v in &mut data {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Tensor::from_vec(shape, data).map_err(|e| CheckpointError::Corrupt {
+        reason: e.to_string(),
+    })
+}
+
+fn write_f64_slice<W: Write>(w: &mut W, s: &[f64]) -> Result<(), CheckpointError> {
+    write_u64(w, s.len() as u64)?;
+    for &v in s {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f64_slice<R: Read>(r: &mut R) -> Result<Vec<f64>, CheckpointError> {
+    let len = read_u64(r)? as usize;
+    if len > 1 << 28 {
+        return Err(CheckpointError::Corrupt {
+            reason: format!("implausible slice length {len}"),
+        });
+    }
+    let mut out = vec![0f64; len];
+    let mut buf = [0u8; 8];
+    for v in &mut out {
+        r.read_exact(&mut buf)?;
+        *v = f64::from_le_bytes(buf);
+    }
+    Ok(out)
+}
+
+fn write_u32<W: Write>(w: &mut W, v: u32) -> Result<(), CheckpointError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, CheckpointError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> Result<(), CheckpointError> {
+    Ok(w.write_all(&v.to_le_bytes())?)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, CheckpointError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    fn full_net() -> Network {
+        let mut r = rng();
+        let mut net = Network::new();
+        net.push(Conv2d::new(3, 6, 3, 1, 1, true, &mut r).unwrap());
+        net.push(BatchNorm2d::new(6).unwrap());
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2).unwrap());
+        net.push(ResidualBlock::new(6, 12, 2, &mut r).unwrap());
+        net.push(ResidualBlock::new(12, 12, 1, &mut r).unwrap());
+        net.push(GlobalAvgPool::new());
+        net.push(Flatten::new());
+        net.push(Linear::new(12, 5, &mut r).unwrap());
+        net
+    }
+
+    #[test]
+    fn roundtrip_preserves_inference() {
+        let mut net = full_net();
+        // Warm BN running stats so eval-mode inference is non-trivial.
+        let x = cap_tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng());
+        for _ in 0..5 {
+            net.forward(&x, true).unwrap();
+        }
+        let expected = net.forward(&x, false).unwrap();
+
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        let mut restored = load(buf.as_slice()).unwrap();
+        let actual = restored.forward(&x, false).unwrap();
+        assert_eq!(expected.shape(), actual.shape());
+        for (a, b) in expected.data().iter().zip(actual.data()) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+        assert_eq!(net.num_params(), restored.num_params());
+    }
+
+    #[test]
+    fn roundtrip_preserves_pruned_networks() {
+        let mut net = full_net();
+        // Prune the first conv through the site machinery shape: directly
+        // shrink it plus its BN; the consumer is a residual so we only
+        // check serialisation, not surgery here.
+        if let Some(c) = net.layers_mut()[0].as_conv_mut() {
+            c.retain_output_channels(&[0, 2, 4]).unwrap();
+        }
+        if let Layer::BatchNorm(bn) = &mut net.layers_mut()[1] {
+            bn.retain_channels(&[0, 2, 4]).unwrap();
+        }
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        let restored = load(buf.as_slice()).unwrap();
+        assert_eq!(restored.layers()[0].as_conv().unwrap().out_channels(), 3);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE00000000".to_vec();
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut buf = Vec::new();
+        save(&full_net(), &mut buf).unwrap();
+        buf[4] = 99; // bump version field
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(CheckpointError::UnsupportedVersion { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = Vec::new();
+        save(&full_net(), &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(matches!(load(buf.as_slice()), Err(CheckpointError::Io(_))));
+    }
+
+    #[test]
+    fn unknown_tag_detected() {
+        let mut buf = Vec::new();
+        save(&full_net(), &mut buf).unwrap();
+        // First layer tag sits right after magic+version+count.
+        buf[16] = 200;
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_network_roundtrips() {
+        let net = Network::new();
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        let restored = load(buf.as_slice()).unwrap();
+        assert_eq!(restored.layers().len(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+use crate::NnError;
+use cap_tensor::Tensor;
+
+/// Rectified linear unit, applied element-wise.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    cached_mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+
+    /// Forward pass: `max(x, 0)` element-wise, caching the active mask.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cached_mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        x.map(|v| v.max(0.0))
+    }
+
+    /// Backward pass: gradient passes where the input was positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] before `forward` or
+    /// [`NnError::BadInput`] if the gradient size differs from the cached
+    /// input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or(NnError::MissingCache { layer: "Relu" })?;
+        if mask.len() != grad_out.numel() {
+            return Err(NnError::BadInput {
+                layer: "Relu backward",
+                expected: format!("{} elements", mask.len()),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let mut g = grad_out.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(mask.iter()) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        Ok(g)
+    }
+}
+
+/// Reshapes `[N, C, H, W]` into `[N, C*H*W]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for inputs with fewer than 2 dims.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.ndim() < 2 {
+            return Err(NnError::BadInput {
+                layer: "Flatten",
+                expected: "at least 2-D".to_string(),
+                got: x.shape().to_vec(),
+            });
+        }
+        self.cached_in_shape = x.shape().to_vec();
+        let n = x.dim(0);
+        let rest: usize = x.shape()[1..].iter().product();
+        Ok(x.reshape(&[n, rest])?)
+    }
+
+    /// Backward pass: reshapes the gradient back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.cached_in_shape.is_empty() {
+            return Err(NnError::MissingCache { layer: "Flatten" });
+        }
+        Ok(grad_out.reshape(&self.cached_in_shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_and_masks() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = Tensor::ones(&[4]);
+        let gin = relu.backward(&g).unwrap();
+        assert_eq!(gin.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::from_fn(&[2, 3, 2, 2], |i| i as f32);
+        let y = fl.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 12]);
+        let back = fl.backward(&y).unwrap();
+        assert_eq!(back.shape(), x.shape());
+        assert_eq!(back.data(), x.data());
+    }
+
+    #[test]
+    fn misuse_errors() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::ones(&[1])).is_err());
+        let mut fl = Flatten::new();
+        assert!(fl.backward(&Tensor::ones(&[1, 1])).is_err());
+    }
+}

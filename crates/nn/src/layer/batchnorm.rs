@@ -1,0 +1,410 @@
+use crate::layer::conv::validate_keep;
+use crate::NnError;
+use cap_tensor::Tensor;
+
+/// Batch normalisation over the channel dimension of an NCHW tensor.
+///
+/// In training mode the layer normalises with batch statistics and updates
+/// exponential running estimates; in evaluation mode it uses the running
+/// estimates. The learnable scale `gamma` doubles as the sparsity handle
+/// for the SSS baseline, which regularises `|gamma|` towards zero.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f64>,
+    running_var: Vec<f64>,
+    momentum: f64,
+    eps: f64,
+    // Caches for backward.
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Vec<f64>,
+    cached_shape: Vec<usize>,
+    cached_training: bool,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps with
+    /// `gamma = 1`, `beta = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `channels == 0`.
+    pub fn new(channels: usize) -> Result<Self, NnError> {
+        if channels == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "batch-norm channel count must be non-zero".to_string(),
+            });
+        }
+        Ok(BatchNorm2d {
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cached_xhat: None,
+            cached_inv_std: Vec::new(),
+            cached_shape: Vec::new(),
+            cached_training: false,
+        })
+    }
+
+    /// Reconstructs a batch-norm layer from raw parts (used by checkpoint
+    /// loading).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if the part lengths disagree or
+    /// are zero.
+    pub fn from_parts(
+        gamma: Tensor,
+        beta: Tensor,
+        running_mean: Vec<f64>,
+        running_var: Vec<f64>,
+    ) -> Result<Self, NnError> {
+        let c = gamma.numel();
+        if c == 0 || beta.numel() != c || running_mean.len() != c || running_var.len() != c {
+            return Err(NnError::InvalidConfig {
+                reason: "batch-norm parts must share a non-zero channel count".to_string(),
+            });
+        }
+        let mut bn = BatchNorm2d::new(c)?;
+        bn.gamma = gamma;
+        bn.beta = beta;
+        bn.running_mean = running_mean;
+        bn.running_var = running_var;
+        Ok(bn)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.numel()
+    }
+
+    /// The shift parameter `beta`.
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+
+    /// The running mean estimates.
+    pub fn running_mean(&self) -> &[f64] {
+        &self.running_mean
+    }
+
+    /// The running variance estimates.
+    pub fn running_var(&self) -> &[f64] {
+        &self.running_var
+    }
+
+    /// The scale parameter `gamma`.
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// Mutable access to `gamma` (used by scaling-factor baselines).
+    pub fn gamma_mut(&mut self) -> &mut Tensor {
+        &mut self.gamma
+    }
+
+    /// The accumulated gradient of `gamma`.
+    pub fn grad_gamma(&self) -> &Tensor {
+        &self.grad_gamma
+    }
+
+    /// Mutable access to the `gamma` gradient (used by the SSS baseline's
+    /// sparsity regulariser).
+    pub fn grad_gamma_mut(&mut self) -> &mut Tensor {
+        &mut self.grad_gamma
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_gamma.fill(0.0);
+        self.grad_beta.fill(0.0);
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] if `x` is not `[N, C, H, W]` with the
+    /// layer's channel count.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        if x.ndim() != 4 || x.dim(1) != self.channels() {
+            return Err(NnError::BadInput {
+                layer: "BatchNorm2d",
+                expected: format!("[N, {}, H, W]", self.channels()),
+                got: x.shape().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let count = (n * h * w) as f64;
+        let plane = h * w;
+        let mut out = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut inv_stds = vec![0.0f64; c];
+        #[allow(clippy::needless_range_loop)] // ch also indexes x/out strides
+        for ch in 0..c {
+            let (mean, var) = if training {
+                let mut sum = 0.0f64;
+                let mut sq = 0.0f64;
+                for s in 0..n {
+                    let base = (s * c + ch) * plane;
+                    for &v in &x.data()[base..base + plane] {
+                        let v = f64::from(v);
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / count;
+                let var = (sq / count - mean * mean).max(0.0);
+                self.running_mean[ch] =
+                    (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean;
+                self.running_var[ch] =
+                    (1.0 - self.momentum) * self.running_var[ch] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ch], self.running_var[ch])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ch] = inv_std;
+            let g = f64::from(self.gamma.data()[ch]);
+            let b = f64::from(self.beta.data()[ch]);
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    let xh = (f64::from(x.data()[i]) - mean) * inv_std;
+                    xhat.data_mut()[i] = xh as f32;
+                    out.data_mut()[i] = (g * xh + b) as f32;
+                }
+            }
+        }
+        self.cached_xhat = Some(xhat);
+        self.cached_inv_std = inv_stds;
+        self.cached_shape = x.shape().to_vec();
+        self.cached_training = training;
+        Ok(out)
+    }
+
+    /// Backward pass.
+    ///
+    /// After a training-mode forward the full batch-statistic coupling is
+    /// differentiated; after an eval-mode forward the layer is the fixed
+    /// affine map `γ·(x − μ̂)/σ̂ + β`, so the input gradient is simply
+    /// `γ·σ̂⁻¹·g` — the case used when scoring a frozen, pre-trained
+    /// network (paper Eq. 3–4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] if called before `forward`, or
+    /// [`NnError::BadInput`] on shape mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let xhat = self.cached_xhat.as_ref().ok_or(NnError::MissingCache {
+            layer: "BatchNorm2d",
+        })?;
+        if grad_out.shape() != self.cached_shape.as_slice() {
+            return Err(NnError::BadInput {
+                layer: "BatchNorm2d backward",
+                expected: format!("{:?}", self.cached_shape),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (
+            self.cached_shape[0],
+            self.cached_shape[1],
+            self.cached_shape[2],
+            self.cached_shape[3],
+        );
+        let plane = h * w;
+        let count = (n * h * w) as f64;
+        let training = self.cached_training;
+        let mut grad_in = Tensor::zeros(grad_out.shape());
+        for ch in 0..c {
+            let mut sum_g = 0.0f64;
+            let mut sum_gx = 0.0f64;
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    let g = f64::from(grad_out.data()[i]);
+                    sum_g += g;
+                    sum_gx += g * f64::from(xhat.data()[i]);
+                }
+            }
+            self.grad_beta.data_mut()[ch] += sum_g as f32;
+            self.grad_gamma.data_mut()[ch] += sum_gx as f32;
+            let gamma = f64::from(self.gamma.data()[ch]);
+            let inv_std = self.cached_inv_std[ch];
+            let k = gamma * inv_std;
+            for s in 0..n {
+                let base = (s * c + ch) * plane;
+                for i in base..base + plane {
+                    let g = f64::from(grad_out.data()[i]);
+                    let gi = if training {
+                        let xh = f64::from(xhat.data()[i]);
+                        k * (g - sum_g / count - xh * sum_gx / count)
+                    } else {
+                        k * g
+                    };
+                    grad_in.data_mut()[i] = gi as f32;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    /// Keeps only the listed channels, matching a pruning of the
+    /// producing convolution's filters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for an invalid keep-set.
+    pub fn retain_channels(&mut self, keep: &[usize]) -> Result<(), NnError> {
+        validate_keep(keep, self.channels(), "batch-norm channels")?;
+        let pick = |t: &Tensor| -> Vec<f32> { keep.iter().map(|&i| t.data()[i]).collect() };
+        self.gamma = Tensor::from_vec(vec![keep.len()], pick(&self.gamma))?;
+        self.beta = Tensor::from_vec(vec![keep.len()], pick(&self.beta))?;
+        self.grad_gamma = Tensor::zeros(&[keep.len()]);
+        self.grad_beta = Tensor::zeros(&[keep.len()]);
+        self.running_mean = keep.iter().map(|&i| self.running_mean[i]).collect();
+        self.running_var = keep.iter().map(|&i| self.running_var[i]).collect();
+        self.cached_xhat = None;
+        Ok(())
+    }
+
+    /// Number of learnable parameters.
+    pub fn num_params(&self) -> usize {
+        2 * self.channels()
+    }
+
+    pub(crate) fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_forward_normalises_batch() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        let x = Tensor::from_fn(&[4, 2, 3, 3], |i| (i % 13) as f32);
+        let y = bn.forward(&x, true).unwrap();
+        // Per-channel mean ~0, var ~1.
+        for ch in 0..2 {
+            let mut vals = Vec::new();
+            for s in 0..4 {
+                for h in 0..3 {
+                    for w in 0..3 {
+                        vals.push(f64::from(y.at4(s, ch, h, w)));
+                    }
+                }
+            }
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var: f64 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        let x = Tensor::full(&[2, 1, 2, 2], 4.0);
+        for _ in 0..200 {
+            bn.forward(&x, true).unwrap();
+        }
+        // Constant input: batch var 0, running mean -> 4. Eval normalises
+        // a 4.0 input to ~0.
+        let y = bn.forward(&x, false).unwrap();
+        assert!(
+            y.data().iter().all(|&v| v.abs() < 1e-2),
+            "{:?}",
+            &y.data()[..2]
+        );
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_through_loss() {
+        let mut bn = BatchNorm2d::new(2).unwrap();
+        bn.gamma_mut().data_mut()[0] = 1.3;
+        bn.gamma_mut().data_mut()[1] = 0.7;
+        let mut x = Tensor::from_fn(&[2, 2, 2, 2], |i| ((i * 7 % 11) as f32) * 0.3 - 1.0);
+        // Loss = weighted sum of outputs to make per-element grads distinct.
+        let wts = Tensor::from_fn(&[2, 2, 2, 2], |i| ((i % 5) as f32) - 2.0);
+        let y = bn.forward(&x, true).unwrap();
+        let _ = y;
+        let gin = bn.backward(&wts).unwrap();
+        let eps = 1e-3f32;
+        for idx in [0usize, 3, 9, 15] {
+            let orig = x.data()[idx];
+            let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f64 {
+                let y = bn.forward(x, true).unwrap();
+                y.data()
+                    .iter()
+                    .zip(wts.data())
+                    .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                    .sum()
+            };
+            x.data_mut()[idx] = orig + eps;
+            let l1 = loss(&mut bn, &x);
+            x.data_mut()[idx] = orig - eps;
+            let l2 = loss(&mut bn, &x);
+            x.data_mut()[idx] = orig;
+            let fd = ((l1 - l2) / (2.0 * f64::from(eps))) as f32;
+            let an = gin.data()[idx];
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                "idx {idx}: {fd} vs {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_backward_is_fixed_affine_gradient() {
+        let mut bn = BatchNorm2d::new(1).unwrap();
+        bn.gamma_mut().data_mut()[0] = 2.0;
+        // Shape running stats away from the defaults.
+        let x = Tensor::from_fn(&[4, 1, 2, 2], |i| (i as f32) * 0.5 - 2.0);
+        for _ in 0..100 {
+            bn.forward(&x, true).unwrap();
+        }
+        bn.forward(&x, false).unwrap();
+        let g = Tensor::ones(&[4, 1, 2, 2]);
+        let gin = bn.backward(&g).unwrap();
+        // In eval mode dL/dx = gamma / sqrt(running_var + eps) uniformly.
+        let v = gin.data()[0];
+        assert!(gin.data().iter().all(|&a| (a - v).abs() < 1e-6));
+        assert!(v > 0.0);
+        // And it must differ from the training-mode gradient, which sums
+        // to ~0 per channel.
+        let sum: f32 = gin.data().iter().sum();
+        assert!(sum.abs() > 1.0);
+    }
+
+    #[test]
+    fn retain_channels_keeps_state() {
+        let mut bn = BatchNorm2d::new(4).unwrap();
+        bn.gamma_mut()
+            .data_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        bn.retain_channels(&[1, 3]).unwrap();
+        assert_eq!(bn.channels(), 2);
+        assert_eq!(bn.gamma().data(), &[2.0, 4.0]);
+        assert!(bn.retain_channels(&[5]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut bn = BatchNorm2d::new(3).unwrap();
+        assert!(bn.forward(&Tensor::ones(&[1, 2, 2, 2]), true).is_err());
+        assert!(bn.backward(&Tensor::ones(&[1, 3, 2, 2])).is_err());
+        assert!(BatchNorm2d::new(0).is_err());
+    }
+}

@@ -1,0 +1,259 @@
+use crate::NnError;
+use cap_tensor::{conv_output_size, Tensor};
+
+/// Max pooling with a square window.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_argmax: Vec<usize>,
+    cached_in_shape: Vec<usize>,
+    cached_out_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize) -> Result<Self, NnError> {
+        if kernel == 0 || stride == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "max-pool kernel and stride must be non-zero".to_string(),
+            });
+        }
+        Ok(MaxPool2d {
+            kernel,
+            stride,
+            cached_argmax: Vec::new(),
+            cached_in_shape: Vec::new(),
+            cached_out_shape: Vec::new(),
+        })
+    }
+
+    /// Window side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Forward pass over `[N, C, H, W]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for non-4-D input or a window larger
+    /// than the input.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.ndim() != 4 {
+            return Err(NnError::BadInput {
+                layer: "MaxPool2d",
+                expected: "[N, C, H, W]".to_string(),
+                got: x.shape().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let oh = conv_output_size(h, self.kernel, self.stride, 0).map_err(NnError::Tensor)?;
+        let ow = conv_output_size(w, self.kernel, self.stride, 0).map_err(NnError::Tensor)?;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        self.cached_argmax = vec![0; n * c * oh * ow];
+        let data = x.data();
+        for s in 0..n {
+            for ch in 0..c {
+                for ph in 0..oh {
+                    for pw in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for kh in 0..self.kernel {
+                            for kw in 0..self.kernel {
+                                let ih = ph * self.stride + kh;
+                                let iw = pw * self.stride + kw;
+                                let idx = ((s * c + ch) * h + ih) * w + iw;
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        let oidx = ((s * c + ch) * oh + ph) * ow + pw;
+                        out.data_mut()[oidx] = best;
+                        self.cached_argmax[oidx] = best_idx;
+                    }
+                }
+            }
+        }
+        self.cached_in_shape = x.shape().to_vec();
+        self.cached_out_shape = out.shape().to_vec();
+        Ok(out)
+    }
+
+    /// Backward pass: routes each gradient to the argmax position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] before `forward`, or
+    /// [`NnError::BadInput`] on shape mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.cached_in_shape.is_empty() {
+            return Err(NnError::MissingCache { layer: "MaxPool2d" });
+        }
+        if grad_out.shape() != self.cached_out_shape.as_slice() {
+            return Err(NnError::BadInput {
+                layer: "MaxPool2d backward",
+                expected: format!("{:?}", self.cached_out_shape),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let mut grad_in = Tensor::zeros(&self.cached_in_shape);
+        for (oidx, &iidx) in self.cached_argmax.iter().enumerate() {
+            grad_in.data_mut()[iidx] += grad_out.data()[oidx];
+        }
+        Ok(grad_in)
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cached_in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool::default()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadInput`] for non-4-D input.
+    pub fn forward(&mut self, x: &Tensor) -> Result<Tensor, NnError> {
+        if x.ndim() != 4 {
+            return Err(NnError::BadInput {
+                layer: "GlobalAvgPool",
+                expected: "[N, C, H, W]".to_string(),
+                got: x.shape().to_vec(),
+            });
+        }
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[n, c]);
+        for s in 0..n {
+            for ch in 0..c {
+                let base = (s * c + ch) * plane;
+                let sum: f64 = x.data()[base..base + plane]
+                    .iter()
+                    .map(|&v| f64::from(v))
+                    .sum();
+                out.data_mut()[s * c + ch] = (sum / plane as f64) as f32;
+            }
+        }
+        self.cached_in_shape = x.shape().to_vec();
+        Ok(out)
+    }
+
+    /// Backward pass: spreads each gradient uniformly over the plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingCache`] before `forward`, or
+    /// [`NnError::BadInput`] on shape mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        if self.cached_in_shape.is_empty() {
+            return Err(NnError::MissingCache {
+                layer: "GlobalAvgPool",
+            });
+        }
+        let (n, c, h, w) = (
+            self.cached_in_shape[0],
+            self.cached_in_shape[1],
+            self.cached_in_shape[2],
+            self.cached_in_shape[3],
+        );
+        if grad_out.shape() != [n, c] {
+            return Err(NnError::BadInput {
+                layer: "GlobalAvgPool backward",
+                expected: format!("[{n}, {c}]"),
+                got: grad_out.shape().to_vec(),
+            });
+        }
+        let plane = h * w;
+        let scale = 1.0 / plane as f32;
+        let mut grad_in = Tensor::zeros(&self.cached_in_shape);
+        for s in 0..n {
+            for ch in 0..c {
+                let g = grad_out.data()[s * c + ch] * scale;
+                let base = (s * c + ch) * plane;
+                for v in &mut grad_in.data_mut()[base..base + plane] {
+                    *v = g;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        )
+        .unwrap();
+        let y = pool.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 9.0, 2.0, 3.0]).unwrap();
+        pool.forward(&x).unwrap();
+        let g = Tensor::from_vec(vec![1, 1, 1, 1], vec![5.0]).unwrap();
+        let gin = pool.backward(&g).unwrap();
+        assert_eq!(gin.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gap_averages_and_spreads() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(
+            vec![1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0],
+        )
+        .unwrap();
+        let y = gap.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+        let g = Tensor::from_vec(vec![1, 2], vec![4.0, 8.0]).unwrap();
+        let gin = gap.backward(&g).unwrap();
+        assert_eq!(gin.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn errors_on_misuse() {
+        let mut pool = MaxPool2d::new(2, 2).unwrap();
+        assert!(pool.backward(&Tensor::ones(&[1, 1, 1, 1])).is_err());
+        assert!(pool.forward(&Tensor::ones(&[2, 2])).is_err());
+        assert!(MaxPool2d::new(0, 1).is_err());
+        let mut gap = GlobalAvgPool::new();
+        assert!(gap.backward(&Tensor::ones(&[1, 2])).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+use crate::NnError;
+use cap_tensor::{softmax_rows, Tensor};
+
+/// How per-sample losses are combined and how the gradient is scaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Average over the batch (the usual training setting).
+    #[default]
+    Mean,
+    /// Sum over the batch. Used by the importance-score evaluation, where
+    /// per-sample gradients must not be rescaled by the batch size so that
+    /// `∂L/∂a` for each image matches Eq. 4 of the paper.
+    Sum,
+}
+
+/// Softmax cross-entropy loss.
+///
+/// # Example
+///
+/// ```
+/// use cap_nn::{CrossEntropyLoss, Reduction};
+/// use cap_tensor::Tensor;
+///
+/// # fn main() -> Result<(), cap_nn::NnError> {
+/// let loss = CrossEntropyLoss::new(Reduction::Mean);
+/// let logits = Tensor::from_vec(vec![1, 3], vec![2.0, 0.5, 0.1])?;
+/// let out = loss.forward(&logits, &[0])?;
+/// assert!(out.value > 0.0 && out.value < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrossEntropyLoss {
+    reduction: Reduction,
+}
+
+/// The result of a loss evaluation: the scalar loss, the gradient with
+/// respect to the logits, and the per-sample losses.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Reduced scalar loss.
+    pub value: f64,
+    /// Gradient `∂L/∂logits`, shaped like the logits.
+    pub grad: Tensor,
+    /// Unreduced per-sample losses.
+    pub per_sample: Vec<f64>,
+}
+
+impl CrossEntropyLoss {
+    /// Creates the loss with the given reduction.
+    pub fn new(reduction: Reduction) -> Self {
+        CrossEntropyLoss { reduction }
+    }
+
+    /// Evaluates the loss and its gradient for `[N, C]` logits and `N`
+    /// class labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadLabels`] if the label count differs from the
+    /// batch size or a label is out of range.
+    pub fn forward(&self, logits: &Tensor, labels: &[usize]) -> Result<LossOutput, NnError> {
+        if logits.ndim() != 2 {
+            return Err(NnError::BadInput {
+                layer: "CrossEntropyLoss",
+                expected: "[N, C] logits".to_string(),
+                got: logits.shape().to_vec(),
+            });
+        }
+        let (n, c) = (logits.dim(0), logits.dim(1));
+        if labels.len() != n {
+            return Err(NnError::BadLabels {
+                reason: format!("{} labels for batch of {n}", labels.len()),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+            return Err(NnError::BadLabels {
+                reason: format!("label {bad} out of range for {c} classes"),
+            });
+        }
+        let probs = softmax_rows(logits)?;
+        let mut per_sample = Vec::with_capacity(n);
+        let mut grad = probs.clone();
+        let scale = match self.reduction {
+            Reduction::Mean => 1.0 / n as f32,
+            Reduction::Sum => 1.0,
+        };
+        for (s, &label) in labels.iter().enumerate() {
+            let p = f64::from(probs.at2(s, label)).max(1e-12);
+            per_sample.push(-p.ln());
+            let idx = s * c + label;
+            grad.data_mut()[idx] -= 1.0;
+        }
+        if scale != 1.0 {
+            grad.scale(scale);
+        }
+        let total: f64 = per_sample.iter().sum();
+        let value = match self.reduction {
+            Reduction::Mean => total / n as f64,
+            Reduction::Sum => total,
+        };
+        Ok(LossOutput {
+            value,
+            grad,
+            per_sample,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let loss = CrossEntropyLoss::new(Reduction::Mean);
+        let logits = Tensor::from_vec(vec![1, 3], vec![20.0, 0.0, 0.0]).unwrap();
+        let out = loss.forward(&logits, &[0]).unwrap();
+        assert!(out.value < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let loss = CrossEntropyLoss::new(Reduction::Mean);
+        let logits = Tensor::zeros(&[2, 4]);
+        let out = loss.forward(&logits, &[1, 3]).unwrap();
+        assert!((out.value - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_softmax_minus_onehot() {
+        let loss = CrossEntropyLoss::new(Reduction::Sum);
+        let logits = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let out = loss.forward(&logits, &[2]).unwrap();
+        let probs = softmax_rows(&logits).unwrap();
+        assert!((out.grad.at2(0, 0) - probs.at2(0, 0)).abs() < 1e-6);
+        assert!((out.grad.at2(0, 2) - (probs.at2(0, 2) - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let loss = CrossEntropyLoss::new(Reduction::Mean);
+        let mut logits =
+            Tensor::from_vec(vec![2, 3], vec![0.3, -0.7, 1.2, 0.0, 0.5, -0.5]).unwrap();
+        let labels = [2usize, 0];
+        let out = loss.forward(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let orig = logits.data()[idx];
+            logits.data_mut()[idx] = orig + eps;
+            let l1 = loss.forward(&logits, &labels).unwrap().value;
+            logits.data_mut()[idx] = orig - eps;
+            let l2 = loss.forward(&logits, &labels).unwrap().value;
+            logits.data_mut()[idx] = orig;
+            let fd = ((l1 - l2) / (2.0 * f64::from(eps))) as f32;
+            assert!((fd - out.grad.data()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn label_validation() {
+        let loss = CrossEntropyLoss::new(Reduction::Mean);
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(loss.forward(&logits, &[0]).is_err());
+        assert!(loss.forward(&logits, &[0, 3]).is_err());
+        assert!(loss.forward(&Tensor::zeros(&[2, 3, 1]), &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn sum_reduction_scales_like_batch() {
+        let mean = CrossEntropyLoss::new(Reduction::Mean);
+        let sum = CrossEntropyLoss::new(Reduction::Sum);
+        let logits = Tensor::from_fn(&[4, 3], |i| (i as f32 * 0.7).sin());
+        let labels = [0usize, 1, 2, 0];
+        let m = mean.forward(&logits, &labels).unwrap();
+        let s = sum.forward(&logits, &labels).unwrap();
+        assert!((s.value - 4.0 * m.value).abs() < 1e-9);
+        for (a, b) in s.grad.data().iter().zip(m.grad.data()) {
+            assert!((a - 4.0 * b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+use crate::layer::{Conv2d, Layer};
+use crate::NnError;
+use cap_tensor::{argmax_rows, Tensor};
+
+/// A feed-forward network: an ordered stack of [`Layer`]s.
+///
+/// # Example
+///
+/// ```
+/// use cap_nn::layer::{Conv2d, GlobalAvgPool, Linear, Relu};
+/// use cap_nn::Network;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), cap_nn::NnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Network::new();
+/// net.push(Conv2d::new(3, 8, 3, 1, 1, true, &mut rng)?);
+/// net.push(Relu::new());
+/// net.push(GlobalAvgPool::new());
+/// net.push(Linear::new(8, 10, &mut rng)?);
+/// let x = cap_tensor::Tensor::zeros(&[2, 3, 8, 8]);
+/// let logits = net.forward(&x, false)?;
+/// assert_eq!(logits.shape(), &[2, 10]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Into<Layer>) {
+        self.layers.push(layer.into());
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layer stack (used by pruning surgery).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Forward pass through all layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error encountered.
+    pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, training)?;
+        }
+        Ok(h)
+    }
+
+    /// Backward pass through all layers in reverse, accumulating parameter
+    /// gradients; returns the gradient w.r.t. the network input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer cache/shape errors.
+    pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total learnable parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Layer::num_params).sum()
+    }
+
+    /// Visits all `(param, grad)` pairs in a stable order; the order is
+    /// only invalidated by structural edits (pushing layers or pruning).
+    pub fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    /// Enables or disables activation recording on every convolution.
+    pub fn set_record_activations(&mut self, on: bool) {
+        for layer in &mut self.layers {
+            layer.set_record_activations(on);
+        }
+    }
+
+    /// Visits every convolution in the network immutably, in execution
+    /// order (for residual blocks: conv1, conv2, shortcut conv).
+    pub fn visit_convs(&self, f: &mut dyn FnMut(&Conv2d)) {
+        for layer in &self.layers {
+            match layer {
+                Layer::Conv(c) => f(c),
+                Layer::Residual(r) => r.visit_convs(f),
+                _ => {}
+            }
+        }
+    }
+
+    /// Visits every convolution in the network mutably.
+    pub fn visit_convs_mut(&mut self, f: &mut dyn FnMut(&mut Conv2d)) {
+        for layer in &mut self.layers {
+            match layer {
+                Layer::Conv(c) => f(c),
+                Layer::Residual(r) => r.visit_convs_mut(f),
+                _ => {}
+            }
+        }
+    }
+
+    /// Number of convolutions (counting residual sub-convolutions).
+    pub fn conv_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_convs(&mut |_| n += 1);
+        n
+    }
+
+    /// Predicts class indices for a batch (eval mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates forward errors; fails if the network output is not a
+    /// `[N, classes]` matrix.
+    pub fn predict(&mut self, x: &Tensor) -> Result<Vec<usize>, NnError> {
+        let logits = self.forward(x, false)?;
+        Ok(argmax_rows(&logits)?)
+    }
+}
+
+impl FromIterator<Layer> for Network {
+    fn from_iter<I: IntoIterator<Item = Layer>>(iter: I) -> Self {
+        Network {
+            layers: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Layer> for Network {
+    fn extend<I: IntoIterator<Item = Layer>>(&mut self, iter: I) {
+        self.layers.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{GlobalAvgPool, Linear, MaxPool2d, Relu, ResidualBlock};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2)
+    }
+
+    fn tiny_net(rng: &mut rand::rngs::StdRng) -> Network {
+        let mut net = Network::new();
+        net.push(Conv2d::new(3, 4, 3, 1, 1, true, rng).unwrap());
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2).unwrap());
+        net.push(ResidualBlock::new(4, 8, 2, rng).unwrap());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(8, 5, rng).unwrap());
+        net
+    }
+
+    #[test]
+    fn forward_backward_roundtrip() {
+        let mut r = rng();
+        let mut net = tiny_net(&mut r);
+        let x = cap_tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut r);
+        let y = net.forward(&x, true).unwrap();
+        assert_eq!(y.shape(), &[2, 5]);
+        let gin = net.backward(&Tensor::ones(&[2, 5])).unwrap();
+        assert_eq!(gin.shape(), x.shape());
+    }
+
+    #[test]
+    fn conv_count_includes_residual_convs() {
+        let mut r = rng();
+        let net = tiny_net(&mut r);
+        // 1 direct conv + residual (conv1, conv2, shortcut 1x1) = 4.
+        assert_eq!(net.conv_count(), 4);
+    }
+
+    #[test]
+    fn num_params_positive_and_stable() {
+        let mut r = rng();
+        let net = tiny_net(&mut r);
+        let n = net.num_params();
+        assert!(n > 0);
+        assert_eq!(n, net.num_params());
+    }
+
+    #[test]
+    fn visit_params_sees_all_tensors() {
+        let mut r = rng();
+        let mut net = tiny_net(&mut r);
+        let mut count = 0;
+        net.visit_params_mut(&mut |_, _| count += 1);
+        // conv(w,b) + res(conv1 w, bn1 g/b, conv2 w, bn2 g/b, sc w, sc bn g/b) + linear(w,b)
+        assert_eq!(count, 2 + 9 + 2);
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut r = rng();
+        let mut net = tiny_net(&mut r);
+        let x = cap_tensor::randn(&[3, 3, 8, 8], 0.0, 1.0, &mut r);
+        let preds = net.predict(&x).unwrap();
+        assert_eq!(preds.len(), 3);
+        assert!(preds.iter().all(|&p| p < 5));
+    }
+}

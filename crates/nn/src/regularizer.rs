@@ -1,0 +1,312 @@
+//! The paper's modified training cost (Eq. 1–2):
+//! `L = L_CE + λ₁·L₁ + λ₂·L_orth`.
+//!
+//! * `L₁ = Σ_l ‖W_l‖₁` pushes weights towards zero so that filters
+//!   unimportant for most classes become prunable.
+//! * `L_orth = Σ_l ‖𝒦𝒦ᵀ − I‖` pushes convolution filters towards
+//!   orthogonality so the surviving filters capture diverse features.
+//!
+//! For the gradient we use the kernel-gram relaxation (filters flattened
+//! to rows of `K`, penalty `‖KKᵀ − I‖_F²`), the same form used by
+//! OrthConv [31]; the exact Toeplitz-matrix value of Eq. 2 is available
+//! in [`cap_tensor::toeplitz::orthogonality_residual_norm`] and is
+//! cross-checked against this relaxation in tests.
+
+use crate::{Network, NnError};
+use cap_tensor::{matmul, matmul_transpose_b, Tensor};
+
+/// Coefficients of the two regularisation terms in Eq. 1.
+///
+/// The paper's experimental setting is `λ₁ = 1e-4`, `λ₂ = 1e-2`
+/// ([`RegularizerConfig::paper`]); [`RegularizerConfig::none`],
+/// [`RegularizerConfig::l1_only`] and [`RegularizerConfig::orth_only`]
+/// reproduce the ablation rows of Table III / Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegularizerConfig {
+    /// Coefficient λ₁ of the L1 term.
+    pub l1: f32,
+    /// Coefficient λ₂ of the orthogonality term.
+    pub orth: f32,
+}
+
+impl Default for RegularizerConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl RegularizerConfig {
+    /// The paper's setting: λ₁ = 1e-4, λ₂ = 1e-2.
+    pub fn paper() -> Self {
+        RegularizerConfig {
+            l1: 1e-4,
+            orth: 1e-2,
+        }
+    }
+
+    /// No regularisation (Table III row "/").
+    pub fn none() -> Self {
+        RegularizerConfig { l1: 0.0, orth: 0.0 }
+    }
+
+    /// Only the L1 term (Table III row "L₁").
+    pub fn l1_only() -> Self {
+        RegularizerConfig {
+            l1: 1e-4,
+            orth: 0.0,
+        }
+    }
+
+    /// Only the orthogonality term (Table III row "L_orth").
+    pub fn orth_only() -> Self {
+        RegularizerConfig {
+            l1: 0.0,
+            orth: 1e-2,
+        }
+    }
+
+    /// A short label for reports ("/", "L1", "Lorth", "L1+Lorth").
+    pub fn label(&self) -> &'static str {
+        match (self.l1 > 0.0, self.orth > 0.0) {
+            (false, false) => "/",
+            (true, false) => "L1",
+            (false, true) => "Lorth",
+            (true, true) => "L1+Lorth",
+        }
+    }
+
+    /// Evaluates the regularisation penalty
+    /// `λ₁·Σ‖W‖₁ + λ₂·Σ‖KKᵀ − I‖_F²` over the network, without touching
+    /// gradients.
+    pub fn penalty(&self, net: &Network) -> f64 {
+        let mut total = 0.0f64;
+        if self.l1 > 0.0 {
+            let mut l1 = 0.0f64;
+            // All layer weight matrices (convolutions and linear layers).
+            net.visit_convs(&mut |c| l1 += c.weight().l1_norm());
+            for layer in net.layers() {
+                if let crate::layer::Layer::Linear(l) = layer {
+                    l1 += l.weight().l1_norm();
+                }
+            }
+            total += f64::from(self.l1) * l1;
+        }
+        if self.orth > 0.0 {
+            let mut orth = 0.0f64;
+            net.visit_convs(&mut |c| {
+                orth += kernel_gram_residual_sq(c.weight());
+            });
+            total += f64::from(self.orth) * orth;
+        }
+        total
+    }
+
+    /// Adds the regulariser gradients to the accumulated gradients of the
+    /// network's parameters. Call after the data-loss backward pass and
+    /// before the optimiser step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (which indicate a bug, since the
+    /// gradients are shaped from the weights themselves).
+    pub fn add_gradients(&self, net: &mut Network) -> Result<(), NnError> {
+        if self.l1 == 0.0 && self.orth == 0.0 {
+            return Ok(());
+        }
+        let l1 = self.l1;
+        let orth = self.orth;
+        let mut first_err: Option<NnError> = None;
+        net.visit_convs_mut(&mut |c| {
+            if first_err.is_some() {
+                return;
+            }
+            if l1 > 0.0 {
+                let sign = c.weight().map(f32::signum);
+                if let Err(e) = c.grad_weight_mut().axpy(l1, &sign) {
+                    first_err = Some(e.into());
+                    return;
+                }
+            }
+            if orth > 0.0 {
+                match kernel_gram_residual_grad(c.weight()) {
+                    Ok(g) => {
+                        if let Err(e) = c.grad_weight_mut().axpy(orth, &g) {
+                            first_err = Some(e.into());
+                        }
+                    }
+                    Err(e) => first_err = Some(e),
+                }
+            }
+        });
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        if l1 > 0.0 {
+            for layer in net.layers_mut() {
+                if let crate::layer::Layer::Linear(lin) = layer {
+                    let sign = lin.weight().map(f32::signum);
+                    let mut err = None;
+                    lin.visit_params_mut(&mut |w, g| {
+                        // The first visited pair is (weight, grad_weight).
+                        if w.shape() == sign.shape() && err.is_none() {
+                            if let Err(e) = g.axpy(l1, &sign) {
+                                err = Some(e);
+                            }
+                        }
+                    });
+                    if let Some(e) = err {
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `‖KKᵀ − I‖_F²` where `K` is the weight flattened to
+/// `[out_channels, in·k·k]`.
+pub fn kernel_gram_residual_sq(weight: &Tensor) -> f64 {
+    let out_c = weight.dim(0);
+    let d: usize = weight.shape()[1..].iter().product();
+    let k = weight
+        .reshape(&[out_c, d])
+        .expect("weight reshape is size-preserving");
+    let gram = matmul_transpose_b(&k, &k).expect("gram of a matrix");
+    let mut acc = 0.0f64;
+    for i in 0..out_c {
+        for j in 0..out_c {
+            let target = if i == j { 1.0 } else { 0.0 };
+            let diff = f64::from(gram.at2(i, j)) - target;
+            acc += diff * diff;
+        }
+    }
+    acc
+}
+
+/// Gradient of [`kernel_gram_residual_sq`] w.r.t. the weight:
+/// `4 (KKᵀ − I) K`, reshaped back to `[out, in, k, k]`.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors (indicating an internal inconsistency).
+pub fn kernel_gram_residual_grad(weight: &Tensor) -> Result<Tensor, NnError> {
+    let out_c = weight.dim(0);
+    let d: usize = weight.shape()[1..].iter().product();
+    let k = weight.reshape(&[out_c, d])?;
+    let mut gram = matmul_transpose_b(&k, &k)?;
+    for i in 0..out_c {
+        let idx = i * out_c + i;
+        gram.data_mut()[idx] -= 1.0;
+    }
+    let mut g = matmul(&gram, &k)?;
+    g.scale(4.0);
+    Ok(g.reshape(weight.shape())?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, GlobalAvgPool, Linear, Relu};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(9)
+    }
+
+    fn small_net(rng: &mut rand::rngs::StdRng) -> Network {
+        let mut net = Network::new();
+        net.push(Conv2d::new(2, 4, 3, 1, 1, false, rng).unwrap());
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(4, 3, rng).unwrap());
+        net
+    }
+
+    #[test]
+    fn labels_cover_all_variants() {
+        assert_eq!(RegularizerConfig::none().label(), "/");
+        assert_eq!(RegularizerConfig::l1_only().label(), "L1");
+        assert_eq!(RegularizerConfig::orth_only().label(), "Lorth");
+        assert_eq!(RegularizerConfig::paper().label(), "L1+Lorth");
+    }
+
+    #[test]
+    fn penalty_zero_without_regularization() {
+        let mut r = rng();
+        let net = small_net(&mut r);
+        assert_eq!(RegularizerConfig::none().penalty(&net), 0.0);
+        assert!(RegularizerConfig::paper().penalty(&net) > 0.0);
+    }
+
+    #[test]
+    fn orth_penalty_zero_for_orthonormal_filters() {
+        let mut r = rng();
+        let mut net = Network::new();
+        let mut conv = Conv2d::new(1, 2, 2, 1, 0, false, &mut r).unwrap();
+        // Two orthonormal filters: e0 and e1 in the 4-dim kernel space.
+        conv.weight_mut().fill(0.0);
+        conv.weight_mut().data_mut()[0] = 1.0; // filter 0 = [1,0,0,0]
+        conv.weight_mut().data_mut()[5] = 1.0; // filter 1 = [0,1,0,0]
+        net.push(conv);
+        let cfg = RegularizerConfig::orth_only();
+        assert!(cfg.penalty(&net) < 1e-9);
+    }
+
+    #[test]
+    fn l1_gradient_is_lambda_sign() {
+        let mut r = rng();
+        let mut net = Network::new();
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, false, &mut r).unwrap();
+        conv.weight_mut()
+            .data_mut()
+            .copy_from_slice(&[0.5, -0.5, 2.0, -2.0]);
+        net.push(conv);
+        net.zero_grad();
+        let cfg = RegularizerConfig { l1: 0.1, orth: 0.0 };
+        cfg.add_gradients(&mut net).unwrap();
+        let g = net.layers()[0].as_conv().unwrap().grad_weight().clone();
+        assert_eq!(g.data(), &[0.1, -0.1, 0.1, -0.1]);
+    }
+
+    #[test]
+    fn orth_gradient_matches_finite_difference() {
+        let mut r = rng();
+        let w = cap_tensor::randn(&[3, 2, 2, 2], 0.0, 0.5, &mut r);
+        let g = kernel_gram_residual_grad(&w).unwrap();
+        let eps = 1e-3f32;
+        let mut w2 = w.clone();
+        for idx in [0usize, 5, 11, 20] {
+            let orig = w2.data()[idx];
+            w2.data_mut()[idx] = orig + eps;
+            let f1 = kernel_gram_residual_sq(&w2);
+            w2.data_mut()[idx] = orig - eps;
+            let f2 = kernel_gram_residual_sq(&w2);
+            w2.data_mut()[idx] = orig;
+            let fd = ((f1 - f2) / (2.0 * f64::from(eps))) as f32;
+            let an = g.data()[idx];
+            assert!((fd - an).abs() < 1e-2 * (1.0 + an.abs()), "{fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn add_gradients_reaches_linear_layers() {
+        let mut r = rng();
+        let mut net = small_net(&mut r);
+        net.zero_grad();
+        RegularizerConfig::l1_only()
+            .add_gradients(&mut net)
+            .unwrap();
+        let mut linear_grad_nonzero = false;
+        for layer in net.layers_mut() {
+            if let crate::layer::Layer::Linear(lin) = layer {
+                lin.visit_params_mut(&mut |w, g| {
+                    if w.ndim() == 2 && g.l1_norm() > 0.0 {
+                        linear_grad_nonzero = true;
+                    }
+                });
+            }
+        }
+        assert!(linear_grad_nonzero);
+    }
+}

@@ -1,0 +1,263 @@
+use crate::{CrossEntropyLoss, Network, NnError, Reduction, RegularizerConfig, Sgd};
+use cap_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters for a training run with the paper's modified cost
+/// (Eq. 1): cross-entropy plus L1 and orthogonality regularisation.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Initial learning rate (paper: 0.01).
+    pub lr: f32,
+    /// Momentum (paper: 0.9).
+    pub momentum: f32,
+    /// Weight decay (paper: 5e-4).
+    pub weight_decay: f32,
+    /// Multiplicative learning-rate decay applied after every epoch.
+    pub lr_decay: f32,
+    /// Regularisation coefficients (Eq. 1).
+    pub regularizer: RegularizerConfig,
+    /// Seed for the per-epoch shuffle.
+    pub shuffle_seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            lr_decay: 0.95,
+            regularizer: RegularizerConfig::paper(),
+            shuffle_seed: 0x5eed,
+        }
+    }
+}
+
+/// Per-epoch statistics from [`fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean total loss (data + regularisation) per batch.
+    pub loss: f64,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+}
+
+/// Copies the samples at `indices` from `[N, C, H, W]` into a new batch.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadInput`] if `images` is not 4-D or an index is
+/// out of range.
+pub fn gather_batch(images: &Tensor, indices: &[usize]) -> Result<Tensor, NnError> {
+    if images.ndim() != 4 {
+        return Err(NnError::BadInput {
+            layer: "gather_batch",
+            expected: "[N, C, H, W]".to_string(),
+            got: images.shape().to_vec(),
+        });
+    }
+    let n = images.dim(0);
+    let sample = images.shape()[1..].iter().product::<usize>();
+    let mut shape = images.shape().to_vec();
+    shape[0] = indices.len();
+    let mut out = Tensor::zeros(&shape);
+    for (bi, &src) in indices.iter().enumerate() {
+        if src >= n {
+            return Err(NnError::BadInput {
+                layer: "gather_batch",
+                expected: format!("indices < {n}"),
+                got: vec![src],
+            });
+        }
+        out.data_mut()[bi * sample..(bi + 1) * sample]
+            .copy_from_slice(&images.data()[src * sample..(src + 1) * sample]);
+    }
+    Ok(out)
+}
+
+/// Trains `net` on `(images, labels)` with SGD and the modified cost,
+/// returning per-epoch statistics.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadLabels`] on a label/image count mismatch and
+/// propagates layer errors.
+pub fn fit(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>, NnError> {
+    if images.ndim() != 4 || images.dim(0) != labels.len() || labels.is_empty() {
+        return Err(NnError::BadLabels {
+            reason: format!(
+                "{} images vs {} labels",
+                if images.ndim() == 4 { images.dim(0) } else { 0 },
+                labels.len()
+            ),
+        });
+    }
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
+    let loss_fn = CrossEntropyLoss::new(Reduction::Mean);
+    let mut order: Vec<usize> = (0..labels.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f64;
+        let mut batches = 0usize;
+        let mut correct = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let x = gather_batch(images, chunk)?;
+            let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+            let logits = net.forward(&x, true)?;
+            let out = loss_fn.forward(&logits, &y)?;
+            let preds = cap_tensor::argmax_rows(&logits)?;
+            correct += preds.iter().zip(y.iter()).filter(|(p, l)| p == l).count();
+            net.zero_grad();
+            net.backward(&out.grad)?;
+            cfg.regularizer.add_gradients(net)?;
+            opt.step(net);
+            epoch_loss += out.value + cfg.regularizer.penalty(net);
+            batches += 1;
+        }
+        opt.set_lr(opt.lr() * cfg.lr_decay);
+        let _ = epoch;
+        history.push(EpochStats {
+            loss: epoch_loss / batches.max(1) as f64,
+            accuracy: correct as f64 / labels.len() as f64,
+        });
+    }
+    Ok(history)
+}
+
+/// Evaluates top-1 accuracy of `net` on `(images, labels)` in eval mode.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadLabels`] on a count mismatch and propagates
+/// layer errors.
+pub fn evaluate(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Result<f64, NnError> {
+    if images.ndim() != 4 || images.dim(0) != labels.len() || labels.is_empty() {
+        return Err(NnError::BadLabels {
+            reason: "image/label count mismatch or empty".to_string(),
+        });
+    }
+    let indices: Vec<usize> = (0..labels.len()).collect();
+    let mut correct = 0usize;
+    for chunk in indices.chunks(batch_size.max(1)) {
+        let x = gather_batch(images, chunk)?;
+        let preds = net.predict(&x)?;
+        correct += chunk
+            .iter()
+            .zip(preds.iter())
+            .filter(|(&i, &p)| labels[i] == p)
+            .count();
+    }
+    Ok(correct as f64 / labels.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Conv2d, GlobalAvgPool, Linear, Relu};
+
+    fn toy_problem() -> (Network, Tensor, Vec<usize>) {
+        // Two linearly separable classes: constant-positive vs
+        // constant-negative images.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut net = Network::new();
+        net.push(Conv2d::new(1, 4, 3, 1, 1, true, &mut rng).unwrap());
+        net.push(Relu::new());
+        net.push(GlobalAvgPool::new());
+        net.push(Linear::new(4, 2, &mut rng).unwrap());
+        let n = 32;
+        let mut images = Tensor::zeros(&[n, 1, 6, 6]);
+        let mut labels = Vec::with_capacity(n);
+        for s in 0..n {
+            let sign = if s % 2 == 0 { 1.0 } else { -1.0 };
+            let base = s * 36;
+            for i in 0..36 {
+                images.data_mut()[base + i] = sign * (0.5 + 0.1 * ((i % 5) as f32));
+            }
+            labels.push(s % 2);
+        }
+        (net, images, labels)
+    }
+
+    #[test]
+    fn fit_learns_separable_problem() {
+        let (mut net, images, labels) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            lr: 0.05,
+            regularizer: RegularizerConfig::none(),
+            ..TrainConfig::default()
+        };
+        let history = fit(&mut net, &images, &labels, &cfg).unwrap();
+        assert_eq!(history.len(), 30);
+        let acc = evaluate(&mut net, &images, &labels, 8).unwrap();
+        assert!(acc > 0.9, "accuracy {acc}");
+        // Loss must decrease overall.
+        assert!(history.last().unwrap().loss < history[0].loss);
+    }
+
+    #[test]
+    fn gather_batch_selects_samples() {
+        let images = Tensor::from_fn(&[3, 1, 2, 2], |i| i as f32);
+        let b = gather_batch(&images, &[2, 0]).unwrap();
+        assert_eq!(b.shape(), &[2, 1, 2, 2]);
+        assert_eq!(b.data()[0], 8.0);
+        assert_eq!(b.data()[4], 0.0);
+        assert!(gather_batch(&images, &[3]).is_err());
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let (mut net, images, _) = toy_problem();
+        let cfg = TrainConfig::default();
+        assert!(fit(&mut net, &images, &[0, 1], &cfg).is_err());
+        assert!(evaluate(&mut net, &images, &[], 4).is_err());
+    }
+
+    #[test]
+    fn regularized_training_shrinks_l1_mass() {
+        let (net, images, labels) = toy_problem();
+        let mut plain = net.clone();
+        let mut reg = net;
+        let base = TrainConfig {
+            epochs: 15,
+            batch_size: 8,
+            lr: 0.05,
+            regularizer: RegularizerConfig::none(),
+            ..TrainConfig::default()
+        };
+        let strong_l1 = TrainConfig {
+            regularizer: RegularizerConfig {
+                l1: 5e-3,
+                orth: 0.0,
+            },
+            ..base
+        };
+        fit(&mut plain, &images, &labels, &base).unwrap();
+        fit(&mut reg, &images, &labels, &strong_l1).unwrap();
+        let mut l1_plain = 0.0;
+        plain.visit_convs(&mut |c| l1_plain += c.weight().l1_norm());
+        let mut l1_reg = 0.0;
+        reg.visit_convs(&mut |c| l1_reg += c.weight().l1_norm());
+        assert!(l1_reg < l1_plain, "{l1_reg} vs {l1_plain}");
+    }
+}

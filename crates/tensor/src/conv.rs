@@ -1,0 +1,306 @@
+use crate::{Tensor, TensorError};
+
+/// Spatial output size of a convolution along one axis.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidGeometry`] when the kernel does not fit
+/// the padded input or the stride is zero.
+pub fn conv_output_size(
+    input: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+) -> Result<usize, TensorError> {
+    if stride == 0 {
+        return Err(TensorError::InvalidGeometry {
+            reason: "stride must be non-zero".to_string(),
+        });
+    }
+    let padded = input + 2 * padding;
+    if kernel == 0 || kernel > padded {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!("kernel {kernel} does not fit padded input {padded}"),
+        });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Geometry of a 2-D convolution: channel counts, kernel size, stride and
+/// padding, plus the derived output size.
+///
+/// # Example
+///
+/// ```
+/// use cap_tensor::Conv2dGeometry;
+/// # fn main() -> Result<(), cap_tensor::TensorError> {
+/// let g = Conv2dGeometry::new(3, 8, 3, 1, 1, 16, 16)?;
+/// assert_eq!((g.out_h, g.out_w), (16, 16));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel (filter) count.
+    pub out_channels: usize,
+    /// Square kernel side length.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Output height.
+    pub out_h: usize,
+    /// Output width.
+    pub out_w: usize,
+}
+
+impl Conv2dGeometry {
+    /// Validates and constructs a convolution geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if any dimension is zero or
+    /// the kernel does not fit the padded input.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Result<Self, TensorError> {
+        if in_channels == 0 || out_channels == 0 {
+            return Err(TensorError::InvalidGeometry {
+                reason: "channel counts must be non-zero".to_string(),
+            });
+        }
+        let out_h = conv_output_size(in_h, kernel, stride, padding)?;
+        let out_w = conv_output_size(in_w, kernel, stride, padding)?;
+        Ok(Conv2dGeometry {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            in_h,
+            in_w,
+            out_h,
+            out_w,
+        })
+    }
+
+    /// Number of rows of the im2col matrix: `in_channels * kernel²`.
+    pub fn col_rows(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Number of columns of the im2col matrix: `out_h * out_w`.
+    pub fn col_cols(&self) -> usize {
+        self.out_h * self.out_w
+    }
+}
+
+/// Lowers one input sample `[in_channels, in_h, in_w]` (given as the
+/// `n`-th sample of a 4-D batch) into the im2col matrix
+/// `[in_channels * k * k, out_h * out_w]`.
+///
+/// Column `(oh * out_w + ow)` holds the receptive field of output position
+/// `(oh, ow)`; row `((c * k + kh) * k + kw)` holds input channel `c`,
+/// kernel offset `(kh, kw)`. Out-of-bounds (padding) positions are zero.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `input` is not 4-D or the
+/// sample index / channel count disagrees with `geom`.
+pub fn im2col(input: &Tensor, n: usize, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    if input.ndim() != 4 {
+        return Err(TensorError::InvalidShape {
+            shape: input.shape().to_vec(),
+            expected: "4-D NCHW input",
+        });
+    }
+    if n >= input.dim(0)
+        || input.dim(1) != geom.in_channels
+        || input.dim(2) != geom.in_h
+        || input.dim(3) != geom.in_w
+    {
+        return Err(TensorError::InvalidShape {
+            shape: input.shape().to_vec(),
+            expected: "input matching convolution geometry",
+        });
+    }
+    let k = geom.kernel;
+    let mut cols = Tensor::zeros(&[geom.col_rows(), geom.col_cols()]);
+    let ncols = geom.col_cols();
+    let data = input.data();
+    let cols_data = cols.data_mut();
+    for c in 0..geom.in_channels {
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = (c * k + kh) * k + kw;
+                let base = row * ncols;
+                for oh in 0..geom.out_h {
+                    let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+                    if ih < 0 || ih >= geom.in_h as isize {
+                        continue;
+                    }
+                    let in_row_base =
+                        ((n * geom.in_channels + c) * geom.in_h + ih as usize) * geom.in_w;
+                    for ow in 0..geom.out_w {
+                        let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
+                        if iw < 0 || iw >= geom.in_w as isize {
+                            continue;
+                        }
+                        cols_data[base + oh * geom.out_w + ow] = data[in_row_base + iw as usize];
+                    }
+                }
+            }
+        }
+    }
+    Ok(cols)
+}
+
+/// Adjoint of [`im2col`]: scatters a column matrix
+/// `[in_channels * k * k, out_h * out_w]` back into the `n`-th sample of
+/// `output` (shape `[N, in_channels, in_h, in_w]`), *accumulating* into
+/// whatever is already stored there.
+///
+/// Together the pair satisfies `⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩`, which is
+/// what makes it the correct backward operation for convolution inputs.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if shapes disagree with `geom`.
+pub fn col2im(
+    cols: &Tensor,
+    output: &mut Tensor,
+    n: usize,
+    geom: &Conv2dGeometry,
+) -> Result<(), TensorError> {
+    if cols.ndim() != 2 || cols.dim(0) != geom.col_rows() || cols.dim(1) != geom.col_cols() {
+        return Err(TensorError::InvalidShape {
+            shape: cols.shape().to_vec(),
+            expected: "im2col matrix matching geometry",
+        });
+    }
+    if output.ndim() != 4
+        || n >= output.dim(0)
+        || output.dim(1) != geom.in_channels
+        || output.dim(2) != geom.in_h
+        || output.dim(3) != geom.in_w
+    {
+        return Err(TensorError::InvalidShape {
+            shape: output.shape().to_vec(),
+            expected: "4-D output matching convolution geometry",
+        });
+    }
+    let k = geom.kernel;
+    let ncols = geom.col_cols();
+    let cols_data = cols.data();
+    let out_data = output.data_mut();
+    let (in_c, in_h, in_w) = (geom.in_channels, geom.in_h, geom.in_w);
+    for c in 0..in_c {
+        for kh in 0..k {
+            for kw in 0..k {
+                let row = (c * k + kh) * k + kw;
+                let base = row * ncols;
+                for oh in 0..geom.out_h {
+                    let ih = (oh * geom.stride + kh) as isize - geom.padding as isize;
+                    if ih < 0 || ih >= in_h as isize {
+                        continue;
+                    }
+                    let out_row_base = ((n * in_c + c) * in_h + ih as usize) * in_w;
+                    for ow in 0..geom.out_w {
+                        let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
+                        if iw < 0 || iw >= in_w as isize {
+                            continue;
+                        }
+                        out_data[out_row_base + iw as usize] +=
+                            cols_data[base + oh * geom.out_w + ow];
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_formula() {
+        assert_eq!(conv_output_size(32, 3, 1, 1).unwrap(), 32);
+        assert_eq!(conv_output_size(32, 3, 2, 1).unwrap(), 16);
+        assert_eq!(conv_output_size(5, 2, 1, 0).unwrap(), 4);
+        assert!(conv_output_size(3, 9, 1, 0).is_err());
+        assert!(conv_output_size(3, 1, 0, 0).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no padding: cols == flattened input.
+        let x = Tensor::from_fn(&[1, 2, 3, 3], |i| i as f32);
+        let g = Conv2dGeometry::new(2, 1, 1, 1, 0, 3, 3).unwrap();
+        let cols = im2col(&x, 0, &g).unwrap();
+        assert_eq!(cols.shape(), &[2, 9]);
+        assert_eq!(cols.data(), x.data());
+    }
+
+    #[test]
+    fn im2col_padding_zeroes_border() {
+        let x = Tensor::ones(&[1, 1, 2, 2]);
+        let g = Conv2dGeometry::new(1, 1, 3, 1, 1, 2, 2).unwrap();
+        let cols = im2col(&x, 0, &g).unwrap();
+        // Column 0 is output position (0,0); its (kh=0, kw=0) row reads the
+        // padded corner and must be zero.
+        assert_eq!(cols.at2(0, 0), 0.0);
+        // Centre tap (kh=1, kw=1) of output (0,0) reads input (0,0) = 1.
+        assert_eq!(cols.at2(4, 0), 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        let g = Conv2dGeometry::new(2, 1, 3, 2, 1, 5, 4).unwrap();
+        let x = Tensor::from_fn(&[1, 2, 5, 4], |i| ((i * 37 % 11) as f32) - 5.0);
+        let y = Tensor::from_fn(&[g.col_rows(), g.col_cols()], |i| {
+            ((i * 17 % 7) as f32) - 3.0
+        });
+        let cols = im2col(&x, 0, &g).unwrap();
+        let lhs: f64 = cols
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
+        let mut xgrad = Tensor::zeros(&[1, 2, 5, 4]);
+        col2im(&y, &mut xgrad, 0, &g).unwrap();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(xgrad.data())
+            .map(|(&a, &b)| f64::from(a) * f64::from(b))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-6, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let g = Conv2dGeometry::new(1, 1, 3, 1, 1, 4, 4).unwrap();
+        let bad = Tensor::zeros(&[1, 2, 4, 4]);
+        assert!(im2col(&bad, 0, &g).is_err());
+        let cols = Tensor::zeros(&[9, 16]);
+        let mut out = Tensor::zeros(&[1, 2, 4, 4]);
+        assert!(col2im(&cols, &mut out, 0, &g).is_err());
+    }
+}

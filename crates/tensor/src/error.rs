@@ -1,0 +1,61 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and kernel routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The data length does not match the product of the shape dimensions.
+    ShapeDataMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements supplied.
+        data_len: usize,
+    },
+    /// A shape with a zero-sized or missing dimension was supplied where a
+    /// non-degenerate shape is required.
+    InvalidShape {
+        /// The offending shape.
+        shape: Vec<usize>,
+        /// What the operation expected.
+        expected: &'static str,
+    },
+    /// Two tensors passed to a binary kernel have incompatible shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// Convolution geometry (kernel, stride, padding) does not fit the input.
+    InvalidGeometry {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "shape {:?} requires {} elements but {} were supplied",
+                shape,
+                shape.iter().product::<usize>(),
+                data_len
+            ),
+            TensorError::InvalidShape { shape, expected } => {
+                write!(f, "invalid shape {shape:?}: expected {expected}")
+            }
+            TensorError::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            TensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid convolution geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}

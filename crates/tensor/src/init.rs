@@ -1,0 +1,95 @@
+use crate::Tensor;
+use rand::Rng;
+
+/// Samples a tensor with i.i.d. normal entries `N(mean, std²)`.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let t = cap_tensor::randn(&[4, 4], 0.0, 1.0, &mut rng);
+/// assert_eq!(t.numel(), 16);
+/// ```
+pub fn randn(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+    // Box-Muller transform; avoids a dependency on rand_distr.
+    let numel: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(numel);
+    while data.len() < numel {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data.push(mean + std * r * theta.cos());
+        if data.len() < numel {
+            data.push(mean + std * r * theta.sin());
+        }
+    }
+    Tensor::from_vec(shape.to_vec(), data).expect("length matches by construction")
+}
+
+/// Samples a tensor with i.i.d. uniform entries in `[lo, hi)`.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| rng.gen_range(lo..hi))
+}
+
+/// Kaiming (He) normal initialisation for convolution / linear weights:
+/// `N(0, sqrt(2 / fan_in)²)` where `fan_in` is the product of all
+/// dimensions except the first.
+pub fn kaiming_normal(shape: &[usize], rng: &mut impl Rng) -> Tensor {
+    let fan_in: usize = shape.iter().skip(1).product::<usize>().max(1);
+    let std = (2.0 / fan_in as f32).sqrt();
+    randn(shape, 0.0, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_roughly_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t = randn(&[10_000], 1.0, 2.0, &mut rng);
+        let mean: f64 = t.data().iter().map(|&x| f64::from(x)).sum::<f64>() / 10_000.0;
+        let var: f64 = t
+            .data()
+            .iter()
+            .map(|&x| (f64::from(x) - mean).powi(2))
+            .sum::<f64>()
+            / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.4, "var {var}");
+    }
+
+    #[test]
+    fn uniform_bounds_respected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.data().iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let t = kaiming_normal(&[64, 32, 3, 3], &mut rng);
+        let var: f64 = t
+            .data()
+            .iter()
+            .map(|&x| f64::from(x) * f64::from(x))
+            .sum::<f64>()
+            / t.numel() as f64;
+        let expected = 2.0 / (32.0 * 9.0);
+        assert!(
+            (var - expected).abs() < expected * 0.3,
+            "var {var} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = randn(&[16], 0.0, 1.0, &mut rand::rngs::StdRng::seed_from_u64(42));
+        let b = randn(&[16], 0.0, 1.0, &mut rand::rngs::StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,125 @@
+use crate::{Tensor, TensorError};
+
+/// Sum of all elements with an `f64` accumulator.
+pub fn sum_all(t: &Tensor) -> f64 {
+    t.data().iter().map(|&x| f64::from(x)).sum()
+}
+
+/// Mean of all elements.
+///
+/// Returns `0.0` for an empty tensor.
+pub fn mean_all(t: &Tensor) -> f64 {
+    if t.numel() == 0 {
+        return 0.0;
+    }
+    sum_all(t) / t.numel() as f64
+}
+
+/// Maximum element, or `None` for an empty tensor.
+pub fn max_all(t: &Tensor) -> Option<f32> {
+    t.data().iter().copied().fold(None, |acc, x| {
+        Some(match acc {
+            None => x,
+            Some(m) => m.max(x),
+        })
+    })
+}
+
+/// For a matrix `[rows, cols]`, returns the argmax of each row.
+///
+/// Ties resolve to the lowest index, matching the usual top-1 accuracy
+/// convention.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `t` is not 2-D.
+pub fn argmax_rows(t: &Tensor) -> Result<Vec<usize>, TensorError> {
+    if t.ndim() != 2 {
+        return Err(TensorError::InvalidShape {
+            shape: t.shape().to_vec(),
+            expected: "2-D logits matrix",
+        });
+    }
+    let (rows, cols) = (t.dim(0), t.dim(1));
+    let mut out = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best);
+    }
+    Ok(out)
+}
+
+/// Numerically-stable row-wise softmax of a `[rows, cols]` matrix.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `t` is not 2-D.
+pub fn softmax_rows(t: &Tensor) -> Result<Tensor, TensorError> {
+    if t.ndim() != 2 {
+        return Err(TensorError::InvalidShape {
+            shape: t.shape().to_vec(),
+            expected: "2-D logits matrix",
+        });
+    }
+    let (rows, cols) = (t.dim(0), t.dim(1));
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for r in 0..rows {
+        let row = &t.data()[r * cols..(r + 1) * cols];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f64;
+        for &v in row {
+            denom += f64::from((v - m).exp());
+        }
+        let orow = &mut out.data_mut()[r * cols..(r + 1) * cols];
+        for (o, &v) in orow.iter_mut().zip(row.iter()) {
+            *o = ((f64::from((v - m).exp())) / denom) as f32;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_and_means() {
+        let t = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(sum_all(&t), 10.0);
+        assert_eq!(mean_all(&t), 2.5);
+        assert_eq!(max_all(&t), Some(4.0));
+        assert_eq!(max_all(&Tensor::zeros(&[0])), None);
+    }
+
+    #[test]
+    fn argmax_ties_to_lowest_index() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1.0, 3.0, 3.0, 0.0, -1.0, 0.0]).unwrap();
+        assert_eq!(argmax_rows(&t).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_stable() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1000.0, 1001.0, 1002.0, -5.0, 0.0, 5.0]).unwrap();
+        let s = softmax_rows(&t).unwrap();
+        for r in 0..2 {
+            let sum: f32 = (0..3).map(|c| s.at2(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        assert!(s.data().iter().all(|&x| x.is_finite() && x >= 0.0));
+        // Larger logit ⇒ larger probability.
+        assert!(s.at2(0, 2) > s.at2(0, 1) && s.at2(0, 1) > s.at2(0, 0));
+    }
+
+    #[test]
+    fn non_matrix_rejected() {
+        let t = Tensor::zeros(&[2, 2, 2]);
+        assert!(argmax_rows(&t).is_err());
+        assert!(softmax_rows(&t).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the tensor kernels.
+
+use cap_tensor::{
+    col2im, im2col, matmul, matmul_transpose_a, matmul_transpose_b, softmax_rows,
+    toeplitz::conv2d_via_toeplitz, transpose2d, Conv2dGeometry, Tensor,
+};
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(vec![r, c], v).expect("sized to shape"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(6),
+        s in -3.0f32..3.0,
+    ) {
+        // A(B + C) == AB + AC with B, C derived from A's shape.
+        let k = a.dim(1);
+        let b = Tensor::from_fn(&[k, 3], |i| (i as f32 * 0.17).sin());
+        let c = b.map(|x| x * s);
+        let lhs = matmul(&a, &b.add(&c).unwrap()).unwrap();
+        let ab = matmul(&a, &b).unwrap();
+        let ac = matmul(&a, &c).unwrap();
+        let rhs = ab.add(&ac).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in small_matrix(8)) {
+        let tt = transpose2d(&transpose2d(&a).unwrap()).unwrap();
+        prop_assert_eq!(a, tt);
+    }
+
+    #[test]
+    fn fused_transpose_matmuls_match_explicit(a in small_matrix(5)) {
+        let (m, k) = (a.dim(0), a.dim(1));
+        let b = Tensor::from_fn(&[m, 4], |i| (i as f32 * 0.23).cos());
+        // aT (m,k)->(k,m) x b (m,4)
+        let explicit = matmul(&transpose2d(&a).unwrap(), &b).unwrap();
+        let fused = matmul_transpose_a(&a, &b).unwrap();
+        for (x, y) in explicit.data().iter().zip(fused.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let c = Tensor::from_fn(&[6, k], |i| (i as f32 * 0.31).sin());
+        let explicit2 = matmul(&a, &transpose2d(&c).unwrap()).unwrap();
+        let fused2 = matmul_transpose_b(&a, &c).unwrap();
+        for (x, y) in explicit2.data().iter().zip(fused2.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in small_matrix(7)) {
+        let s = softmax_rows(&a).unwrap();
+        for r in 0..s.dim(0) {
+            let sum: f64 = (0..s.dim(1)).map(|c| f64::from(s.at2(r, c))).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+        }
+        prop_assert!(s.data().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        in_c in 1usize..3,
+        k in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        hw in 3usize..7,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k <= hw + 2 * padding);
+        let g = Conv2dGeometry::new(in_c, 1, k, stride, padding, hw, hw).unwrap();
+        let x = Tensor::from_fn(&[1, in_c, hw, hw], |i| {
+            (((i as u64).wrapping_mul(seed + 1) % 17) as f32) - 8.0
+        });
+        let y = Tensor::from_fn(&[g.col_rows(), g.col_cols()], |i| {
+            (((i as u64).wrapping_mul(seed + 3) % 13) as f32) - 6.0
+        });
+        let cols = im2col(&x, 0, &g).unwrap();
+        let lhs: f64 = cols.data().iter().zip(y.data())
+            .map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        let mut xg = Tensor::zeros(&[1, in_c, hw, hw]);
+        col2im(&y, &mut xg, 0, &g).unwrap();
+        let rhs: f64 = x.data().iter().zip(xg.data())
+            .map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_matmul_equals_toeplitz_conv(
+        in_c in 1usize..3,
+        out_c in 1usize..4,
+        k in 1usize..4,
+        hw in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        let g = Conv2dGeometry::new(in_c, out_c, k, 1, k / 2, hw, hw).unwrap();
+        let w = Tensor::from_fn(&[out_c, in_c, k, k], |i| {
+            ((((i as u64).wrapping_mul(seed + 7)) % 19) as f32 - 9.0) * 0.1
+        });
+        let x = Tensor::from_fn(&[1, in_c, hw, hw], |i| {
+            ((((i as u64).wrapping_mul(seed + 11)) % 23) as f32 - 11.0) * 0.1
+        });
+        // im2col path: W_mat [out_c, in_c*k*k] x cols.
+        let cols = im2col(&x, 0, &g).unwrap();
+        let wmat = w.reshape(&[out_c, in_c * k * k]).unwrap();
+        let out_cols = matmul(&wmat, &cols).unwrap();
+        let via_cols = out_cols.reshape(&[1, out_c, g.out_h, g.out_w]).unwrap();
+        let via_toeplitz = conv2d_via_toeplitz(&x, &w, &g).unwrap();
+        for (a, b) in via_cols.data().iter().zip(via_toeplitz.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Checkpoint workflow: pre-train once, save the model, then explore two
+//! different pruning strategies from the same saved weights — the
+//! pattern the paper uses when comparing against prior work ("we used
+//! the pre-trained model weights ... and applied the proposed pruning
+//! framework").
+//!
+//! Run with: `cargo run --release --example checkpoint_resume`
+
+use cap_core::{ClassAwarePruner, PruneConfig, PruneStrategy, ScoreConfig, TauMode};
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_models::{vgg11, ModelConfig};
+use cap_nn::{checkpoint, evaluate, fit, RegularizerConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(10)
+            .with_counts(24, 8),
+    )?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    let cfg = ModelConfig::new(10).with_width(0.25).with_image_size(10);
+    let mut net = vgg11(&cfg, &mut rng)?;
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 24,
+            regularizer: RegularizerConfig::paper(),
+            ..TrainConfig::default()
+        },
+    )?;
+    let baseline = evaluate(&mut net, data.test().images(), data.test().labels(), 32)?;
+
+    // Save the pre-trained model.
+    let path = std::env::temp_dir().join("cap_vgg11_pretrained.capn");
+    let file = std::fs::File::create(&path)?;
+    checkpoint::save(&net, std::io::BufWriter::new(file))?;
+    println!(
+        "saved pre-trained VGG11 ({} params, {:.1}% accuracy) to {}",
+        net.num_params(),
+        baseline * 100.0,
+        path.display()
+    );
+
+    // Explore two strategies, each restarting from the checkpoint.
+    for strategy in [
+        PruneStrategy::Percentage { fraction: 0.10 },
+        PruneStrategy::paper_combined(10),
+    ] {
+        let file = std::fs::File::open(&path)?;
+        let mut candidate = checkpoint::load(std::io::BufReader::new(file))?;
+        let pruner = ClassAwarePruner::new(PruneConfig {
+            score: ScoreConfig {
+                images_per_class: 8,
+                tau: TauMode::SiteRelative(3.0),
+                ..ScoreConfig::default()
+            },
+            strategy,
+            finetune: TrainConfig {
+                epochs: 2,
+                batch_size: 24,
+                regularizer: RegularizerConfig::paper(),
+                ..TrainConfig::default()
+            },
+            max_iterations: 4,
+            accuracy_drop_limit: 0.1,
+            eval_batch: 32,
+        })?;
+        let outcome = pruner.run(&mut candidate, data.train(), data.test())?;
+        println!(
+            "{:<22} accuracy {:>5.1}%  pruning ratio {:>5.1}%  FLOPs red. {:>5.1}%",
+            strategy.label(),
+            outcome.final_accuracy * 100.0,
+            outcome.pruning_ratio() * 100.0,
+            outcome.flops_reduction() * 100.0
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

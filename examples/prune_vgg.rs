@@ -1,0 +1,81 @@
+//! Full class-aware pruning of VGG16 on the CIFAR-10 stand-in: the
+//! paper's Fig. 5 loop end to end (train → iterate score/prune/fine-tune
+//! until convergence), printing the per-iteration trajectory.
+//!
+//! Run with: `cargo run --release --example prune_vgg`
+
+use cap_core::{ClassAwarePruner, PruneConfig, PruneStrategy, ScoreConfig, TauMode};
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_models::{vgg16, ModelConfig};
+use cap_nn::{evaluate, fit, RegularizerConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(12)
+            .with_counts(32, 10),
+    )?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let cfg = ModelConfig::new(10).with_width(0.2).with_image_size(12);
+    let mut net = vgg16(&cfg, &mut rng)?;
+    println!(
+        "VGG16 with {} parameters, {} convolutions",
+        net.num_params(),
+        net.conv_count()
+    );
+
+    let train_cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        regularizer: RegularizerConfig::paper(),
+        ..TrainConfig::default()
+    };
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &train_cfg,
+    )?;
+    let baseline = evaluate(&mut net, data.test().images(), data.test().labels(), 32)?;
+    println!("baseline accuracy: {:.1}%", baseline * 100.0);
+
+    let pruner = ClassAwarePruner::new(PruneConfig {
+        score: ScoreConfig {
+            images_per_class: 10,
+            tau: TauMode::SiteRelative(0.25),
+            ..ScoreConfig::default()
+        },
+        strategy: PruneStrategy::paper_combined(10),
+        finetune: TrainConfig {
+            epochs: 3,
+            ..train_cfg
+        },
+        max_iterations: 8,
+        accuracy_drop_limit: 0.05,
+        eval_batch: 32,
+    })?;
+    let outcome = pruner.run(&mut net, data.train(), data.test())?;
+
+    println!("\niter | removed | remaining | acc(prune) | acc(ft) | params");
+    for r in &outcome.iterations {
+        println!(
+            "{:>4} | {:>7} | {:>9} | {:>9.1}% | {:>6.1}% | {:>6}",
+            r.iteration,
+            r.removed_filters,
+            r.remaining_filters,
+            r.accuracy_after_prune * 100.0,
+            r.accuracy_after_finetune * 100.0,
+            r.params
+        );
+    }
+    println!(
+        "\nstopped: {:?}\nfinal accuracy {:.1}% (baseline {:.1}%)\npruning ratio {:.1}%, FLOPs reduction {:.1}%",
+        outcome.stop_reason,
+        outcome.final_accuracy * 100.0,
+        outcome.baseline_accuracy * 100.0,
+        outcome.pruning_ratio() * 100.0,
+        outcome.flops_reduction() * 100.0
+    );
+    Ok(())
+}

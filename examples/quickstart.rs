@@ -1,0 +1,123 @@
+//! Quickstart: train a small CNN on the synthetic class-structured data,
+//! run one round of class-aware importance scoring, prune the lowest
+//! scoring filters and fine-tune.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cap_core::{
+    analyze_network, apply_site_pruning, evaluate_scores, find_prunable_sites, select_filters,
+    PruneStrategy, ScoreConfig, TauMode,
+};
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
+use cap_nn::{evaluate, fit, Network, RegularizerConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: a 10-class CIFAR-like synthetic dataset.
+    let data = SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(12)
+            .with_counts(32, 8),
+    )?;
+    println!(
+        "dataset: {} train / {} test images, {} classes",
+        data.train().len(),
+        data.test().len(),
+        data.train().classes()
+    );
+
+    // 2. Model: a small conv net ending in global average pooling.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 16, 3, 1, 1, false, &mut rng)?);
+    net.push(BatchNorm2d::new(16)?);
+    net.push(Relu::new());
+    net.push(Conv2d::new(16, 24, 3, 1, 1, false, &mut rng)?);
+    net.push(BatchNorm2d::new(24)?);
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(24, 10, &mut rng)?);
+
+    // 3. Train with the paper's modified cost (Eq. 1): CE + L1 + L_orth.
+    let train_cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        lr: 0.02,
+        regularizer: RegularizerConfig::paper(),
+        ..TrainConfig::default()
+    };
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &train_cfg,
+    )?;
+    let acc = evaluate(&mut net, data.test().images(), data.test().labels(), 32)?;
+    println!("accuracy after training: {:.1}%", acc * 100.0);
+
+    // 4. Class-aware importance scores (Eq. 3-7).
+    let sites = find_prunable_sites(&net);
+    let scores = evaluate_scores(
+        &mut net,
+        &sites,
+        data.train(),
+        &ScoreConfig {
+            images_per_class: 10,
+            tau: TauMode::SiteRelative(0.25),
+            ..ScoreConfig::default()
+        },
+    )?;
+    for site in &scores.sites {
+        println!(
+            "site {:<8} mean class-count score {:.2} / {}",
+            site.label,
+            site.mean(),
+            scores.classes
+        );
+    }
+
+    // 5. Prune 20% of the least class-important filters.
+    let before = analyze_network(&net, 3, 12, 12)?;
+    let selection = select_filters(&scores, &PruneStrategy::Percentage { fraction: 0.2 })?;
+    for (si, site) in sites.iter().enumerate() {
+        if selection.remove[si].is_empty() {
+            continue;
+        }
+        let keep = selection.keep_for(si, scores.sites[si].scores.len());
+        apply_site_pruning(&mut net, site, &keep)?;
+        println!(
+            "pruned {} filters from {}",
+            selection.remove[si].len(),
+            site.label
+        );
+    }
+    let after = analyze_network(&net, 3, 12, 12)?;
+    println!(
+        "params {} -> {} ({:.1}% pruned), FLOPs {} -> {} ({:.1}% reduced)",
+        before.total_params,
+        after.total_params,
+        after.param_reduction_vs(&before) * 100.0,
+        before.total_flops,
+        after.total_flops,
+        after.flops_reduction_vs(&before) * 100.0
+    );
+
+    // 6. Fine-tune to recover accuracy.
+    let finetune = TrainConfig {
+        epochs: 5,
+        ..train_cfg
+    };
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &finetune,
+    )?;
+    let acc_after = evaluate(&mut net, data.test().images(), data.test().labels(), 32)?;
+    println!(
+        "accuracy after pruning + fine-tuning: {:.1}%",
+        acc_after * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! `capctl` — command-line inspector for `.capn` network checkpoints.
+//!
+//! ```text
+//! capctl info  <file>   print layer-by-layer structure and totals
+//! capctl flops <file> <C> <H> <W>   cost analysis at an input size
+//! ```
+
+use cap_core::analyze_network;
+use cap_nn::layer::Layer;
+use cap_nn::{checkpoint, Network};
+use std::process::ExitCode;
+
+fn describe(net: &Network) {
+    println!(
+        "{} layers, {} parameters",
+        net.layers().len(),
+        net.num_params()
+    );
+    for (i, layer) in net.layers().iter().enumerate() {
+        let detail = match layer {
+            Layer::Conv(c) => format!(
+                "conv {}→{} k{} s{} p{}{}",
+                c.in_channels(),
+                c.out_channels(),
+                c.kernel(),
+                c.stride(),
+                c.padding(),
+                if c.bias().is_some() { " +bias" } else { "" }
+            ),
+            Layer::BatchNorm(bn) => format!("batchnorm {} channels", bn.channels()),
+            Layer::Relu(_) => "relu".to_string(),
+            Layer::MaxPool(p) => format!("maxpool k{} s{}", p.kernel(), p.stride()),
+            Layer::GlobalAvgPool(_) => "global avg pool".to_string(),
+            Layer::Flatten(_) => "flatten".to_string(),
+            Layer::Linear(l) => format!("linear {}→{}", l.in_features(), l.out_features()),
+            Layer::Residual(b) => format!(
+                "residual block {}→{} (internal width {}{})",
+                b.conv1().in_channels(),
+                b.out_channels(),
+                b.conv1().out_channels(),
+                if b.shortcut().is_some() {
+                    ", projection shortcut"
+                } else {
+                    ", identity shortcut"
+                }
+            ),
+        };
+        println!("  [{i:>3}] {detail}  ({} params)", layer.num_params());
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let usage = "usage: capctl info <file> | capctl flops <file> <C> <H> <W>";
+    match args.get(1).map(String::as_str) {
+        Some("info") => {
+            let path = args.get(2).ok_or(usage)?;
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let net = checkpoint::load(std::io::BufReader::new(file))
+                .map_err(|e| format!("load {path}: {e}"))?;
+            describe(&net);
+            Ok(())
+        }
+        Some("flops") => {
+            if args.len() < 6 {
+                return Err(usage.to_string());
+            }
+            let path = &args[2];
+            let parse = |s: &String| s.parse::<usize>().map_err(|e| format!("bad dim {s}: {e}"));
+            let (c, h, w) = (parse(&args[3])?, parse(&args[4])?, parse(&args[5])?);
+            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+            let net = checkpoint::load(std::io::BufReader::new(file))
+                .map_err(|e| format!("load {path}: {e}"))?;
+            let report =
+                analyze_network(&net, c, h, w).map_err(|e| format!("analysis failed: {e}"))?;
+            println!("input [{c}, {h}, {w}]");
+            println!("layer                    | FLOPs        | params");
+            println!("-------------------------+--------------+--------");
+            for l in &report.layers {
+                println!("{:<25}| {:>12} | {:>6}", l.label, l.flops, l.params);
+            }
+            println!(
+                "total: {} FLOPs/sample, {} parameters",
+                report.total_flops, report.total_params
+            );
+            Ok(())
+        }
+        _ => Err(usage.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

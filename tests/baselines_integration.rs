@@ -1,0 +1,107 @@
+//! Integration of the baseline criteria with the real model builders:
+//! every criterion must run end to end on VGG and ResNet topologies and
+//! produce a functional pruned network.
+
+use cap_baselines::{run_baseline, standard_criteria, BaselineConfig};
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_models::{resnet20, vgg16, ModelConfig};
+use cap_nn::{fit, RegularizerConfig, TrainConfig};
+use cap_tensor::Tensor;
+use rand::SeedableRng;
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(8)
+            .with_counts(10, 3),
+    )
+    .expect("valid spec")
+}
+
+fn schedule() -> BaselineConfig {
+    BaselineConfig {
+        fraction_per_iter: 0.15,
+        iterations: 2,
+        finetune: TrainConfig {
+            epochs: 1,
+            batch_size: 20,
+            regularizer: RegularizerConfig::none(),
+            ..TrainConfig::default()
+        },
+        eval_batch: 32,
+        seed: 7,
+    }
+}
+
+#[test]
+fn every_criterion_prunes_vgg() {
+    let data = dataset();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let cfg = ModelConfig::new(10).with_width(0.125).with_image_size(8);
+    let mut base = vgg16(&cfg, &mut rng).expect("model builds");
+    fit(
+        &mut base,
+        data.train().images(),
+        data.train().labels(),
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 20,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("training");
+
+    for criterion in standard_criteria().iter_mut() {
+        let mut net = base.clone();
+        let outcome = run_baseline(
+            criterion.as_mut(),
+            &mut net,
+            data.train(),
+            data.test(),
+            &schedule(),
+        )
+        .unwrap_or_else(|e| panic!("{} failed: {e}", criterion.name()));
+        assert!(
+            outcome.pruning_ratio() > 0.0,
+            "{} should prune something",
+            outcome.method
+        );
+        let x = Tensor::zeros(&[1, 3, 8, 8]);
+        let y = net.forward(&x, false).expect("pruned net runs");
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+}
+
+#[test]
+fn every_criterion_prunes_resnet() {
+    let data = dataset();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let cfg = ModelConfig::new(10).with_width(0.25).with_image_size(8);
+    let mut base = resnet20(&cfg, &mut rng).expect("model builds");
+    fit(
+        &mut base,
+        data.train().images(),
+        data.train().labels(),
+        &TrainConfig {
+            epochs: 2,
+            batch_size: 20,
+            ..TrainConfig::default()
+        },
+    )
+    .expect("training");
+
+    for criterion in standard_criteria().iter_mut() {
+        let mut net = base.clone();
+        let outcome = run_baseline(
+            criterion.as_mut(),
+            &mut net,
+            data.train(),
+            data.test(),
+            &schedule(),
+        )
+        .unwrap_or_else(|e| panic!("{} failed: {e}", criterion.name()));
+        assert!(outcome.pruning_ratio() > 0.0, "{}", outcome.method);
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        assert_eq!(net.forward(&x, false).expect("runs").shape(), &[2, 10]);
+    }
+}

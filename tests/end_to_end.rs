@@ -1,0 +1,176 @@
+//! Cross-crate integration: the full class-aware pipeline on real model
+//! builders, exercising tensor → nn → data → models → core together.
+
+use cap_core::{ClassAwarePruner, PruneConfig, PruneStrategy, ScoreConfig, TauMode};
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_models::{resnet20, vgg16, ModelConfig};
+use cap_nn::{evaluate, fit, RegularizerConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn dataset() -> SyntheticDataset {
+    SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(10)
+            .with_counts(16, 5),
+    )
+    .expect("valid spec")
+}
+
+fn train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 4,
+        batch_size: 20,
+        lr: 0.02,
+        regularizer: RegularizerConfig::paper(),
+        ..TrainConfig::default()
+    }
+}
+
+fn prune_cfg() -> PruneConfig {
+    PruneConfig {
+        score: ScoreConfig {
+            images_per_class: 6,
+            tau: TauMode::SiteRelative(0.25),
+            ..ScoreConfig::default()
+        },
+        strategy: PruneStrategy::Percentage { fraction: 0.15 },
+        finetune: TrainConfig {
+            epochs: 1,
+            ..train_cfg()
+        },
+        max_iterations: 2,
+        accuracy_drop_limit: 1.0,
+        eval_batch: 32,
+    }
+}
+
+#[test]
+fn vgg16_pipeline_prunes_and_stays_functional() {
+    let data = dataset();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let cfg = ModelConfig::new(10).with_width(0.125).with_image_size(10);
+    let mut net = vgg16(&cfg, &mut rng).expect("model builds");
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &train_cfg(),
+    )
+    .expect("training");
+
+    let params_before = net.num_params();
+    let pruner = ClassAwarePruner::new(prune_cfg()).expect("valid config");
+    let outcome = pruner
+        .run(&mut net, data.train(), data.test())
+        .expect("pruning runs");
+
+    assert!(outcome.pruning_ratio() > 0.0, "some parameters must go");
+    assert!(net.num_params() < params_before);
+    assert_eq!(outcome.baseline_cost.total_params as usize, params_before);
+    // The pruned network still classifies.
+    let acc = evaluate(&mut net, data.test().images(), data.test().labels(), 32).expect("eval");
+    assert!((0.0..=1.0).contains(&acc));
+    // Iteration records are consistent: remaining filters decrease.
+    for w in outcome.iterations.windows(2) {
+        assert!(w[1].remaining_filters <= w[0].remaining_filters);
+        assert!(w[1].params <= w[0].params);
+    }
+}
+
+#[test]
+fn resnet_pipeline_respects_shortcut_constraint() {
+    let data = dataset();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let cfg = ModelConfig::new(10).with_width(0.25).with_image_size(10);
+    let mut net = resnet20(&cfg, &mut rng).expect("model builds");
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &train_cfg(),
+    )
+    .expect("training");
+
+    // Record block output widths; pruning must not change them.
+    let widths_before: Vec<usize> = net
+        .layers()
+        .iter()
+        .filter_map(|l| l.as_residual().map(|b| b.out_channels()))
+        .collect();
+    let pruner = ClassAwarePruner::new(prune_cfg()).expect("valid config");
+    let outcome = pruner
+        .run(&mut net, data.train(), data.test())
+        .expect("pruning runs");
+    let widths_after: Vec<usize> = net
+        .layers()
+        .iter()
+        .filter_map(|l| l.as_residual().map(|b| b.out_channels()))
+        .collect();
+    assert_eq!(
+        widths_before, widths_after,
+        "block interfaces must be intact"
+    );
+    assert!(outcome.pruning_ratio() > 0.0);
+    // Internal widths did shrink somewhere.
+    let internal: usize = net
+        .layers()
+        .iter()
+        .filter_map(|l| l.as_residual().map(|b| b.conv1().out_channels()))
+        .sum();
+    let internal_before: usize = widths_before.iter().sum();
+    assert!(internal < internal_before);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let data = dataset();
+    let run = || {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = ModelConfig::new(10).with_width(0.125).with_image_size(10);
+        let mut net = vgg16(&cfg, &mut rng).expect("model builds");
+        fit(
+            &mut net,
+            data.train().images(),
+            data.train().labels(),
+            &train_cfg(),
+        )
+        .expect("training");
+        let pruner = ClassAwarePruner::new(prune_cfg()).expect("valid config");
+        let outcome = pruner
+            .run(&mut net, data.train(), data.test())
+            .expect("pruning");
+        (
+            outcome.final_accuracy,
+            outcome.final_cost.total_params,
+            outcome.final_cost.total_flops,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn scores_after_pruning_do_not_decrease_on_average() {
+    // The paper's Fig. 7 claim: remaining filters are important for more
+    // classes than the average before pruning.
+    let data = dataset();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let cfg = ModelConfig::new(10).with_width(0.125).with_image_size(10);
+    let mut net = vgg16(&cfg, &mut rng).expect("model builds");
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &train_cfg(),
+    )
+    .expect("training");
+    let pruner = ClassAwarePruner::new(prune_cfg()).expect("valid config");
+    let outcome = pruner
+        .run(&mut net, data.train(), data.test())
+        .expect("pruning");
+    assert!(
+        outcome.scores_after.mean() >= outcome.scores_before.mean() - 0.5,
+        "mean score should not collapse: before {:.3}, after {:.3}",
+        outcome.scores_before.mean(),
+        outcome.scores_after.mean()
+    );
+}

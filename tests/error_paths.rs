@@ -1,0 +1,126 @@
+//! Failure-injection integration tests: the pipeline must fail loudly
+//! and descriptively, never panic, when components disagree.
+
+use cap_core::{
+    apply_site_pruning, evaluate_scores, find_prunable_sites, ClassAwarePruner, PrunableSite,
+    PruneConfig, PruneError, ScoreConfig, SiteKind,
+};
+use cap_data::{Dataset, DatasetSpec, SyntheticDataset};
+use cap_models::{vgg16, ModelConfig};
+use cap_nn::layer::{Conv2d, GlobalAvgPool, Linear, Relu};
+use cap_nn::Network;
+use cap_tensor::Tensor;
+use rand::SeedableRng;
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0)
+}
+
+#[test]
+fn scoring_fails_cleanly_when_labels_exceed_network_outputs() {
+    // Network with 5 outputs, dataset with 10 classes: class 7's labels
+    // are out of range for the loss — a clean error, not a panic.
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 4, 3, 1, 1, false, &mut rng()).unwrap());
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(4, 5, &mut rng()).unwrap());
+    let data = SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(6)
+            .with_counts(3, 1),
+    )
+    .unwrap();
+    let sites = find_prunable_sites(&net);
+    let err = evaluate_scores(&mut net, &sites, data.train(), &ScoreConfig::default());
+    assert!(matches!(err, Err(PruneError::Nn(_))), "{err:?}");
+}
+
+#[test]
+fn surgery_rejects_channel_mismatched_dataset() {
+    // 1-channel dataset into a 3-channel model: forward inside the
+    // framework must surface a BadInput error.
+    let mut net = vgg16(
+        &ModelConfig::new(4).with_width(0.125).with_image_size(6),
+        &mut rng(),
+    )
+    .unwrap();
+    let images = Tensor::zeros(&[8, 1, 6, 6]);
+    let data = Dataset::new(images, vec![0, 1, 2, 3, 0, 1, 2, 3], 4).unwrap();
+    let pruner = ClassAwarePruner::new(PruneConfig::default()).unwrap();
+    let err = pruner.run(&mut net, &data, &data);
+    assert!(err.is_err());
+}
+
+#[test]
+fn stale_sites_after_external_mutation_are_detected() {
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 6, 3, 1, 1, false, &mut rng()).unwrap());
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(6, 4, &mut rng()).unwrap());
+    let sites = find_prunable_sites(&net);
+    assert_eq!(sites.len(), 1);
+    // Fabricate a site pointing at a non-conv layer.
+    let bogus = PrunableSite {
+        kind: SiteKind::Sequential { conv_idx: 1 },
+        label: "bogus".to_string(),
+    };
+    let err = apply_site_pruning(&mut net, &bogus, &[0]);
+    assert!(
+        matches!(err, Err(PruneError::StaleScores { .. })),
+        "{err:?}"
+    );
+
+    let bogus_block = PrunableSite {
+        kind: SiteKind::ResidualInternal { block_idx: 0 },
+        label: "bogus-block".to_string(),
+    };
+    let err = apply_site_pruning(&mut net, &bogus_block, &[0]);
+    assert!(
+        matches!(err, Err(PruneError::StaleScores { .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn error_messages_are_informative() {
+    // C-GOOD-ERR: lowercase-ish, specific, displayable, with sources.
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 4, 3, 1, 1, false, &mut rng()).unwrap());
+    let bogus = PrunableSite {
+        kind: SiteKind::Sequential { conv_idx: 0 },
+        label: "conv1".to_string(),
+    };
+    // The conv has no rewritable consumer.
+    let err = apply_site_pruning(&mut net, &bogus, &[0]).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("consumer"), "unhelpful message: {msg}");
+    // Error implements std::error::Error.
+    let as_dyn: &dyn std::error::Error = &err;
+    assert!(as_dyn.source().is_none() || as_dyn.source().is_some());
+}
+
+#[test]
+fn conv_feeding_residual_is_refused_with_reason() {
+    use cap_nn::layer::ResidualBlock;
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 8, 3, 1, 1, false, &mut rng()).unwrap());
+    net.push(ResidualBlock::new(8, 8, 1, &mut rng()).unwrap());
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(8, 2, &mut rng()).unwrap());
+    // find_prunable_sites already refuses the stem; force the issue.
+    let forced = PrunableSite {
+        kind: SiteKind::Sequential { conv_idx: 0 },
+        label: "stem".to_string(),
+    };
+    let err = apply_site_pruning(&mut net, &forced, &[0, 1]).unwrap_err();
+    assert!(
+        matches!(err, PruneError::UnsupportedTopology { .. }),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("shortcut"));
+    // And the structure is untouched: forward still works at full width.
+    let x = Tensor::zeros(&[1, 3, 8, 8]);
+    assert_eq!(net.forward(&x, false).unwrap().shape(), &[1, 2]);
+}
