@@ -112,7 +112,7 @@ fn recording_pass(
     backward: bool,
 ) -> Result<(), PruneError> {
     net.set_record_activations(true);
-    
+
     (|| -> Result<(), PruneError> {
         let logits = net.forward(images, false)?;
         if backward {

@@ -77,6 +77,36 @@ fn bench_importance_scoring(c: &mut Criterion) {
     });
 }
 
+/// Measures the cost of the disabled observability layer on a hot
+/// kernel: the conv forward pass enters one layer span plus an im2col
+/// and a matmul span per sample, so any disabled-path overhead beyond
+/// the single relaxed atomic load per span would show up here.
+///
+/// Compare `conv2d_forward_obs_off` (instrumentation compiled in,
+/// globally disabled — the default for every workload) against
+/// `conv2d_forward_obs_on` (spans recording into the registry). The
+/// acceptance bar is <2% for the disabled case; see EXPERIMENTS.md for
+/// recorded numbers.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let mut conv = Conv2d::new(16, 32, 3, 1, 1, false, &mut rng()).unwrap();
+    let x = cap_tensor::randn(&[4, 16, 16, 16], 0.0, 1.0, &mut rng());
+    cap_obs::disable();
+    // Unit cost of a single disabled span entry+drop (the per-kernel-call
+    // price of the instrumentation when tracing is off).
+    c.bench_function("span_enter_disabled", |bench| {
+        bench.iter(|| cap_obs::SpanGuard::enter(black_box("bench.span")))
+    });
+    c.bench_function("conv2d_forward_obs_off", |bench| {
+        bench.iter(|| conv.forward(black_box(&x)).unwrap())
+    });
+    cap_obs::enable();
+    c.bench_function("conv2d_forward_obs_on", |bench| {
+        bench.iter(|| conv.forward(black_box(&x)).unwrap())
+    });
+    cap_obs::disable();
+    cap_obs::reset();
+}
+
 fn bench_channel_surgery(c: &mut Criterion) {
     c.bench_function("retain_output_channels_32to16", |bench| {
         bench.iter_with_setup(
@@ -97,6 +127,7 @@ criterion_group!(
         bench_conv_forward_backward,
         bench_toeplitz,
         bench_importance_scoring,
+        bench_obs_overhead,
         bench_channel_surgery
 );
 criterion_main!(kernels);

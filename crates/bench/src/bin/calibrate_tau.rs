@@ -11,6 +11,7 @@ use cap_core::{evaluate_scores, find_prunable_sites, ScoreConfig, ScoreHistogram
 use cap_nn::RegularizerConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    cap_bench::init_trace();
     let args: Vec<String> = std::env::args().collect();
     let mut scale = if args.iter().any(|a| a == "--small") {
         ExperimentScale::small()

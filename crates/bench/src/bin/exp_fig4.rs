@@ -67,21 +67,34 @@ fn sweep_m(scale: &ExperimentScale) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() {
+    cap_bench::init_trace();
     let scale = scale_from_args();
     if std::env::args().any(|a| a == "--sweep-m") {
-        eprintln!("running the M-stability sweep at scale {scale:?}");
+        cap_obs::emit(
+            cap_obs::Event::new("experiment_start")
+                .str("experiment", "fig4_sweep_m")
+                .str("scale", format!("{scale:?}")),
+        );
         if let Err(e) = sweep_m(&scale) {
+            cap_obs::flush();
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
+        cap_obs::flush();
         return;
     }
-    eprintln!("running Fig. 4 at scale {scale:?}");
+    cap_obs::emit(
+        cap_obs::Event::new("experiment_start")
+            .str("experiment", "fig4")
+            .str("scale", format!("{scale:?}")),
+    );
     match run_fig4(&scale) {
         Ok(results) => print!("{}", render_fig4(&results)),
         Err(e) => {
+            cap_obs::flush();
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
     }
+    cap_obs::flush();
 }

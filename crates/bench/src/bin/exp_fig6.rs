@@ -21,10 +21,13 @@ fn main() {
     } else {
         (Arch::Vgg16, DataKind::C10)
     };
-    eprintln!(
-        "running Fig. 6 on {}-{} at scale {scale:?}",
-        arch.name(),
-        kind.name()
+    cap_bench::init_trace();
+    cap_obs::emit(
+        cap_obs::Event::new("experiment_start")
+            .str("experiment", "fig6")
+            .str("arch", arch.name())
+            .str("dataset", kind.name())
+            .str("scale", format!("{scale:?}")),
     );
     match run_fig6(arch, kind, &scale) {
         Ok(rows) => print!(
@@ -32,8 +35,10 @@ fn main() {
             render_fig6(&format!("{}-{}", arch.name(), kind.name()), &rows)
         ),
         Err(e) => {
+            cap_obs::flush();
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
     }
+    cap_obs::flush();
 }

@@ -17,13 +17,20 @@ fn scale_from_args() -> ExperimentScale {
 }
 
 fn main() {
+    cap_bench::init_trace();
     let scale = scale_from_args();
-    eprintln!("running Fig. 7 at scale {scale:?}");
+    cap_obs::emit(
+        cap_obs::Event::new("experiment_start")
+            .str("experiment", "fig7")
+            .str("scale", format!("{scale:?}")),
+    );
     match run_fig7(&scale) {
         Ok(results) => print!("{}", render_fig7(&results)),
         Err(e) => {
+            cap_obs::flush();
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
     }
+    cap_obs::flush();
 }

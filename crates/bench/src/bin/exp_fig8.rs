@@ -19,13 +19,20 @@ fn scale_from_args() -> ExperimentScale {
 }
 
 fn main() {
+    cap_bench::init_trace();
     let scale = scale_from_args();
-    eprintln!("running Fig. 8 at scale {scale:?}");
+    cap_obs::emit(
+        cap_obs::Event::new("experiment_start")
+            .str("experiment", "fig8")
+            .str("scale", format!("{scale:?}")),
+    );
     match run_fig8(&scale) {
         Ok(rows) => print!("{}", render_fig8(&rows)),
         Err(e) => {
+            cap_obs::flush();
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
     }
+    cap_obs::flush();
 }

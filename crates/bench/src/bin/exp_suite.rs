@@ -82,18 +82,18 @@ impl Suite {
             eval_batch: self.scale.batch_size,
         })?;
         let outcome = pruner.run(&mut prepared.net, data.train(), data.test())?;
-        eprintln!(
-            "  [{}-{} {} {}] ratio {:.1}% flops {:.1}% acc {:.1}%->{:.1}% ({:?}, {:.0?})",
-            arch.name(),
-            kind.name(),
-            strategy.label(),
-            reg.label(),
-            outcome.pruning_ratio() * 100.0,
-            outcome.flops_reduction() * 100.0,
-            prepared.baseline_accuracy * 100.0,
-            outcome.final_accuracy * 100.0,
-            outcome.stop_reason,
-            started.elapsed()
+        cap_obs::emit(
+            cap_obs::Event::new("pipeline_done")
+                .str("arch", arch.name())
+                .str("dataset", kind.name())
+                .str("strategy", strategy.label())
+                .str("regularizer", reg.label())
+                .f64("pruning_ratio", outcome.pruning_ratio())
+                .f64("flops_reduction", outcome.flops_reduction())
+                .f64("baseline_accuracy", prepared.baseline_accuracy)
+                .f64("final_accuracy", outcome.final_accuracy)
+                .str("stop_reason", format!("{:?}", outcome.stop_reason))
+                .f64("elapsed_secs", started.elapsed().as_secs_f64()),
         );
         Ok(PipelineResult {
             baseline_accuracy: prepared.baseline_accuracy,
@@ -114,9 +114,12 @@ fn main() -> Result<()> {
     let cache = std::env::var_os("CAP_CACHE")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/cap-cache"));
-    eprintln!(
-        "experiment suite at scale {scale:?}; cache {}",
-        cache.display()
+    cap_bench::init_trace();
+    cap_obs::emit(
+        cap_obs::Event::new("experiment_start")
+            .str("experiment", "exp_suite")
+            .str("scale", format!("{scale:?}"))
+            .str("cache", cache.display().to_string()),
     );
     let suite = Suite { scale, cache };
     let t0 = Instant::now();
@@ -325,12 +328,12 @@ fn main() -> Result<()> {
             data10.test(),
             &schedule,
         )?;
-        eprintln!(
-            "  [baseline {}] ratio {:.1}% acc {:.1}% ({:.0?})",
-            outcome.method,
-            outcome.pruning_ratio() * 100.0,
-            outcome.final_accuracy * 100.0,
-            started.elapsed()
+        cap_obs::emit(
+            cap_obs::Event::new("baseline_done")
+                .str("method", outcome.method.clone())
+                .f64("pruning_ratio", outcome.pruning_ratio())
+                .f64("final_accuracy", outcome.final_accuracy)
+                .f64("elapsed_secs", started.elapsed().as_secs_f64()),
         );
         fig6.push(Fig6Row {
             method: outcome.method.clone(),
@@ -341,6 +344,9 @@ fn main() -> Result<()> {
     }
     println!("{}", render_fig6("VGG16-CIFAR10", &fig6));
 
-    eprintln!("suite completed in {:.0?}", t0.elapsed());
+    cap_obs::emit(
+        cap_obs::Event::new("suite_done").f64("elapsed_secs", t0.elapsed().as_secs_f64()),
+    );
+    cap_obs::flush();
     Ok(())
 }

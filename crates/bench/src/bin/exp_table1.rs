@@ -18,13 +18,20 @@ fn scale_from_args() -> ExperimentScale {
 }
 
 fn main() {
+    cap_bench::init_trace();
     let scale = scale_from_args();
-    eprintln!("running Table I at scale {scale:?}");
+    cap_obs::emit(
+        cap_obs::Event::new("experiment_start")
+            .str("experiment", "table1")
+            .str("scale", format!("{scale:?}")),
+    );
     match run_table1(&scale) {
         Ok(rows) => print!("{}", render_table1(&rows)),
         Err(e) => {
+            cap_obs::flush();
             eprintln!("experiment failed: {e}");
             std::process::exit(1);
         }
     }
+    cap_obs::flush();
 }

@@ -18,7 +18,12 @@ fn main() {
     } else {
         ExperimentScale::full()
     };
-    eprintln!("running all experiments at scale {scale:?}");
+    cap_bench::init_trace();
+    cap_obs::emit(
+        cap_obs::Event::new("experiment_start")
+            .str("experiment", "run_all")
+            .str("scale", format!("{scale:?}")),
+    );
     let mut failed = false;
 
     match run_table1(&scale) {
@@ -70,6 +75,7 @@ fn main() {
             failed = true;
         }
     }
+    cap_obs::flush();
     if failed {
         std::process::exit(1);
     }

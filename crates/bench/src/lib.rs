@@ -21,6 +21,7 @@ mod experiments;
 mod render;
 mod scale;
 mod setup;
+mod trace;
 
 pub use experiments::{
     run_fig4, run_fig6, run_fig7, run_fig8, run_table1, run_table2, run_table3, Fig4Result,
@@ -31,3 +32,4 @@ pub use render::{
 };
 pub use scale::ExperimentScale;
 pub use setup::{build_dataset, build_model, pretrain, pretrain_cached, Arch, DataKind, Prepared};
+pub use trace::init_trace;

@@ -1,0 +1,40 @@
+//! Shared observability wiring for the experiment binaries.
+//!
+//! Every binary calls [`init_trace`] first thing in `main`. Trace output
+//! always goes to stderr (pretty) or a file (JSONL), never stdout, so the
+//! table/figure artefacts the binaries print remain byte-stable.
+
+/// Initialises the cap-obs layer for a CLI binary.
+///
+/// Resolution order:
+///
+/// 1. `--trace <spec>` on the command line (e.g. `--trace jsonl:run.jsonl`
+///    or `--trace pretty`; append `,detail` for per-span/per-batch events),
+/// 2. the `CAP_TRACE` environment variable with the same grammar,
+/// 3. otherwise the pretty sink on stderr, so progress narration keeps
+///    appearing exactly where the old `eprintln!`-based logging went.
+///
+/// Exits with status 2 on a malformed spec — a typo'd trace destination
+/// silently discarding telemetry is worse than a hard stop.
+pub fn init_trace() {
+    let args: Vec<String> = std::env::args().collect();
+    let cli_spec = args
+        .windows(2)
+        .find(|w| w[0] == "--trace")
+        .map(|w| w[1].clone());
+    let result = match cli_spec {
+        Some(spec) => cap_obs::init_from_spec(&spec).map(|()| true),
+        None => cap_obs::init_from_env(),
+    };
+    match result {
+        Ok(true) => {}
+        Ok(false) => {
+            cap_obs::set_sink(Box::new(cap_obs::sink::PrettySink));
+            cap_obs::enable();
+        }
+        Err(e) => {
+            eprintln!("trace setup failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -79,6 +79,14 @@ pub struct IterationRecord {
     pub flops: u64,
     /// Parameters after this iteration.
     pub params: u64,
+    /// Wall-clock seconds spent scoring filters (Eq. 3–7).
+    pub secs_score: f64,
+    /// Wall-clock seconds spent on filter surgery.
+    pub secs_surgery: f64,
+    /// Wall-clock seconds spent fine-tuning.
+    pub secs_finetune: f64,
+    /// Wall-clock seconds spent in accuracy evaluations.
+    pub secs_eval: f64,
 }
 
 /// The result of a full pruning run.
@@ -132,11 +140,11 @@ impl PruneOutcome {
     /// ```
     pub fn iterations_csv(&self) -> String {
         let mut out = String::from(
-            "iteration,removed_filters,remaining_filters,accuracy_after_prune,accuracy_after_finetune,mean_score,flops,params\n",
+            "iteration,removed_filters,remaining_filters,accuracy_after_prune,accuracy_after_finetune,mean_score,flops,params,secs_score,secs_surgery,secs_finetune,secs_eval\n",
         );
         for r in &self.iterations {
             out.push_str(&format!(
-                "{},{},{},{:.6},{:.6},{:.6},{},{}\n",
+                "{},{},{},{:.6},{:.6},{:.6},{},{},{:.6},{:.6},{:.6},{:.6}\n",
                 r.iteration,
                 r.removed_filters,
                 r.remaining_filters,
@@ -144,7 +152,11 @@ impl PruneOutcome {
                 r.accuracy_after_finetune,
                 r.mean_score,
                 r.flops,
-                r.params
+                r.params,
+                r.secs_score,
+                r.secs_surgery,
+                r.secs_finetune,
+                r.secs_eval
             ));
         }
         out
@@ -209,6 +221,7 @@ impl ClassAwarePruner {
         train: &Dataset,
         test: &Dataset,
     ) -> Result<PruneOutcome, PruneError> {
+        let _run_span = cap_obs::span!("core.prune.run");
         let cfg = &self.config;
         let (in_c, in_h, in_w) = input_dims(train)?;
 
@@ -216,35 +229,74 @@ impl ClassAwarePruner {
         let baseline_cost = analyze_network(net, in_c, in_h, in_w)?;
         let sites0 = find_prunable_sites(net);
         let scores_before = evaluate_scores(net, &sites0, train, &cfg.score)?;
+        cap_obs::emit(
+            cap_obs::Event::new("prune_start")
+                .f64("baseline_accuracy", baseline_accuracy)
+                .u64("baseline_flops", baseline_cost.total_flops)
+                .u64("baseline_params", baseline_cost.total_params)
+                .u64("max_iterations", cfg.max_iterations as u64),
+        );
 
-        let mut iterations = Vec::new();
+        let mut iterations: Vec<IterationRecord> = Vec::new();
         let mut stop_reason = StopReason::MaxIterations;
         for iteration in 1..=cfg.max_iterations {
-            let sites = find_prunable_sites(net);
-            let scores = evaluate_scores(net, &sites, train, &cfg.score)?;
-            let selection = select_filters(&scores, &cfg.strategy)?;
+            let _iter_span = cap_obs::span!("core.prune.iteration");
+
+            let t_score = std::time::Instant::now();
+            let (sites, scores, selection) = {
+                let _span = cap_obs::span!("core.prune.score");
+                let sites = find_prunable_sites(net);
+                let scores = evaluate_scores(net, &sites, train, &cfg.score)?;
+                let selection = select_filters(&scores, &cfg.strategy)?;
+                (sites, scores, selection)
+            };
+            let secs_score = t_score.elapsed().as_secs_f64();
             if selection.is_empty() {
                 stop_reason = StopReason::NoPrunableFilters;
                 break;
             }
+
+            let t_surgery = std::time::Instant::now();
             let snapshot = net.clone();
-            for (si, site) in sites.iter().enumerate() {
-                if selection.remove[si].is_empty() {
-                    continue;
+            {
+                let _span = cap_obs::span!("core.prune.surgery");
+                for (si, site) in sites.iter().enumerate() {
+                    if selection.remove[si].is_empty() {
+                        continue;
+                    }
+                    let keep = selection.keep_for(si, scores.sites[si].scores.len());
+                    apply_site_pruning(net, site, &keep)?;
                 }
-                let keep = selection.keep_for(si, scores.sites[si].scores.len());
-                apply_site_pruning(net, site, &keep)?;
             }
-            let accuracy_after_prune = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
-            fit(net, train.images(), train.labels(), &cfg.finetune)?;
-            let accuracy_after_finetune =
-                evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
+            let secs_surgery = t_surgery.elapsed().as_secs_f64();
+
+            let t_eval1 = std::time::Instant::now();
+            let accuracy_after_prune = {
+                let _span = cap_obs::span!("core.prune.eval");
+                evaluate(net, test.images(), test.labels(), cfg.eval_batch)?
+            };
+            let mut secs_eval = t_eval1.elapsed().as_secs_f64();
+
+            let t_finetune = std::time::Instant::now();
+            {
+                let _span = cap_obs::span!("core.prune.finetune");
+                fit(net, train.images(), train.labels(), &cfg.finetune)?;
+            }
+            let secs_finetune = t_finetune.elapsed().as_secs_f64();
+
+            let t_eval2 = std::time::Instant::now();
+            let accuracy_after_finetune = {
+                let _span = cap_obs::span!("core.prune.eval");
+                evaluate(net, test.images(), test.labels(), cfg.eval_batch)?
+            };
+            secs_eval += t_eval2.elapsed().as_secs_f64();
+
             let cost = analyze_network(net, in_c, in_h, in_w)?;
             let remaining = find_prunable_sites(net)
                 .iter()
                 .map(|s| s.filters(net).unwrap_or(0))
                 .sum();
-            iterations.push(IterationRecord {
+            let record = IterationRecord {
                 iteration,
                 removed_filters: selection.total_removed(),
                 remaining_filters: remaining,
@@ -253,7 +305,16 @@ impl ClassAwarePruner {
                 mean_score: scores.mean(),
                 flops: cost.total_flops,
                 params: cost.total_params,
-            });
+                secs_score,
+                secs_surgery,
+                secs_finetune,
+                secs_eval,
+            };
+            emit_iteration(&record);
+            cap_obs::counter_add("core.filters_removed_total", record.removed_filters as u64);
+            cap_obs::gauge_set("core.flops", record.flops as f64);
+            cap_obs::gauge_set("core.params", record.params as f64);
+            iterations.push(record);
             if baseline_accuracy - accuracy_after_finetune > cfg.accuracy_drop_limit {
                 *net = snapshot;
                 stop_reason = StopReason::AccuracyUnrecoverable;
@@ -265,6 +326,14 @@ impl ClassAwarePruner {
         let final_cost = analyze_network(net, in_c, in_h, in_w)?;
         let sites_final = find_prunable_sites(net);
         let scores_after = evaluate_scores(net, &sites_final, train, &cfg.score)?;
+        cap_obs::emit(
+            cap_obs::Event::new("prune_done")
+                .u64("iterations", iterations.len() as u64)
+                .f64("final_accuracy", final_accuracy)
+                .u64("final_flops", final_cost.total_flops)
+                .u64("final_params", final_cost.total_params)
+                .str("stop_reason", format!("{stop_reason:?}")),
+        );
         Ok(PruneOutcome {
             baseline_accuracy,
             final_accuracy,
@@ -276,6 +345,24 @@ impl ClassAwarePruner {
             stop_reason,
         })
     }
+}
+
+fn emit_iteration(r: &IterationRecord) {
+    cap_obs::emit(
+        cap_obs::Event::new("prune_iteration")
+            .u64("iteration", r.iteration as u64)
+            .u64("removed_filters", r.removed_filters as u64)
+            .u64("remaining_filters", r.remaining_filters as u64)
+            .f64("accuracy_after_prune", r.accuracy_after_prune)
+            .f64("accuracy_after_finetune", r.accuracy_after_finetune)
+            .f64("mean_score", r.mean_score)
+            .u64("flops", r.flops)
+            .u64("params", r.params)
+            .f64("secs_score", r.secs_score)
+            .f64("secs_surgery", r.secs_surgery)
+            .f64("secs_finetune", r.secs_finetune)
+            .f64("secs_eval", r.secs_eval),
+    );
 }
 
 fn input_dims(data: &Dataset) -> Result<(usize, usize, usize), PruneError> {
@@ -438,7 +525,7 @@ mod tests {
         assert!(lines[0].starts_with("iteration,removed_filters"));
         assert_eq!(lines.len(), outcome.iterations.len() + 1);
         for line in &lines[1..] {
-            assert_eq!(line.split(',').count(), 8);
+            assert_eq!(line.split(',').count(), 12);
         }
     }
 

@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn residual_net_gradients_check_out() {
-        let mut r = rng();
+        // Seed chosen so no finite-difference probe (eps = 1e-2) straddles
+        // a ReLU kink; nearby seeds put a pre-activation within eps of
+        // zero and inflate the numeric/analytic mismatch past tolerance.
+        let mut r = rand::rngs::StdRng::seed_from_u64(3);
         let mut net = Network::new();
         net.push(Conv2d::new(2, 4, 3, 1, 1, false, &mut r).unwrap());
         net.push(BatchNorm2d::new(4).unwrap());

@@ -64,12 +64,36 @@ impl Layer {
         }
     }
 
+    /// Static span name for this layer kind and pass direction, following
+    /// the `crate.component.op` convention (DESIGN.md §7).
+    fn span_name(&self, backward: bool) -> &'static str {
+        match (self, backward) {
+            (Layer::Conv(_), false) => "nn.conv.forward",
+            (Layer::Conv(_), true) => "nn.conv.backward",
+            (Layer::BatchNorm(_), false) => "nn.batchnorm.forward",
+            (Layer::BatchNorm(_), true) => "nn.batchnorm.backward",
+            (Layer::Relu(_), false) => "nn.relu.forward",
+            (Layer::Relu(_), true) => "nn.relu.backward",
+            (Layer::MaxPool(_), false) => "nn.maxpool.forward",
+            (Layer::MaxPool(_), true) => "nn.maxpool.backward",
+            (Layer::GlobalAvgPool(_), false) => "nn.gap.forward",
+            (Layer::GlobalAvgPool(_), true) => "nn.gap.backward",
+            (Layer::Flatten(_), false) => "nn.flatten.forward",
+            (Layer::Flatten(_), true) => "nn.flatten.backward",
+            (Layer::Linear(_), false) => "nn.linear.forward",
+            (Layer::Linear(_), true) => "nn.linear.backward",
+            (Layer::Residual(_), false) => "nn.residual.forward",
+            (Layer::Residual(_), true) => "nn.residual.backward",
+        }
+    }
+
     /// Forward pass.
     ///
     /// # Errors
     ///
     /// Propagates the underlying layer's shape errors.
     pub fn forward(&mut self, x: &Tensor, training: bool) -> Result<Tensor, NnError> {
+        let _span = cap_obs::SpanGuard::enter(self.span_name(false));
         match self {
             Layer::Conv(l) => l.forward(x),
             Layer::BatchNorm(l) => l.forward(x, training),
@@ -88,6 +112,7 @@ impl Layer {
     ///
     /// Propagates the underlying layer's cache/shape errors.
     pub fn backward(&mut self, grad: &Tensor) -> Result<Tensor, NnError> {
+        let _span = cap_obs::SpanGuard::enter(self.span_name(true));
         match self {
             Layer::Conv(l) => l.backward(grad),
             Layer::BatchNorm(l) => l.backward(grad),

@@ -47,6 +47,10 @@ pub struct EpochStats {
     pub loss: f64,
     /// Training accuracy over the epoch.
     pub accuracy: f64,
+    /// Learning rate used during this epoch (before the post-epoch decay).
+    pub lr: f64,
+    /// Wall-clock time spent on this epoch, in seconds.
+    pub elapsed_secs: f64,
 }
 
 /// Copies the samples at `indices` from `[N, C, H, W]` into a new batch.
@@ -104,17 +108,22 @@ pub fn fit(
             ),
         });
     }
+    let _fit_span = cap_obs::span!("nn.fit");
     let mut opt = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
     let loss_fn = CrossEntropyLoss::new(Reduction::Mean);
     let mut order: Vec<usize> = (0..labels.len()).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = cap_obs::span!("nn.fit.epoch");
+        let epoch_start = std::time::Instant::now();
+        let epoch_lr = f64::from(opt.lr());
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         let mut batches = 0usize;
         let mut correct = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let _batch_span = cap_obs::span!("nn.fit.batch");
             let x = gather_batch(images, chunk)?;
             let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
             let logits = net.forward(&x, true)?;
@@ -127,13 +136,32 @@ pub fn fit(
             opt.step(net);
             epoch_loss += out.value + cfg.regularizer.penalty(net);
             batches += 1;
+            if cap_obs::detail() {
+                cap_obs::emit(
+                    cap_obs::Event::new("batch")
+                        .u64("epoch", epoch as u64)
+                        .u64("batch", (batches - 1) as u64)
+                        .f64("loss", out.value),
+                );
+            }
         }
         opt.set_lr(opt.lr() * cfg.lr_decay);
-        let _ = epoch;
-        history.push(EpochStats {
+        let stats = EpochStats {
             loss: epoch_loss / batches.max(1) as f64,
             accuracy: correct as f64 / labels.len() as f64,
-        });
+            lr: epoch_lr,
+            elapsed_secs: epoch_start.elapsed().as_secs_f64(),
+        };
+        cap_obs::counter_add("nn.epochs_total", 1);
+        cap_obs::emit(
+            cap_obs::Event::new("epoch")
+                .u64("epoch", epoch as u64)
+                .f64("loss", stats.loss)
+                .f64("accuracy", stats.accuracy)
+                .f64("lr", stats.lr)
+                .f64("elapsed_secs", stats.elapsed_secs),
+        );
+        history.push(stats);
     }
     Ok(history)
 }
@@ -155,6 +183,7 @@ pub fn evaluate(
             reason: "image/label count mismatch or empty".to_string(),
         });
     }
+    let _span = cap_obs::span!("nn.evaluate");
     let indices: Vec<usize> = (0..labels.len()).collect();
     let mut correct = 0usize;
     for chunk in indices.chunks(batch_size.max(1)) {
@@ -213,6 +242,54 @@ mod tests {
         assert!(acc > 0.9, "accuracy {acc}");
         // Loss must decrease overall.
         assert!(history.last().unwrap().loss < history[0].loss);
+    }
+
+    #[test]
+    fn fit_emits_one_epoch_event_per_epoch_with_decaying_lr() {
+        let _guard = cap_obs::test_lock();
+        cap_obs::reset();
+        let sink = cap_obs::sink::CaptureSink::new();
+        let handle = sink.handle();
+        cap_obs::set_sink(Box::new(sink));
+        cap_obs::enable();
+
+        let (mut net, images, labels) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 5,
+            batch_size: 8,
+            lr: 0.05,
+            lr_decay: 0.9,
+            regularizer: RegularizerConfig::none(),
+            ..TrainConfig::default()
+        };
+        let history = fit(&mut net, &images, &labels, &cfg).unwrap();
+
+        cap_obs::disable();
+        cap_obs::reset();
+
+        let epochs: Vec<cap_obs::json::Json> = handle
+            .lines()
+            .iter()
+            .map(|l| cap_obs::json::parse(l).unwrap())
+            .filter(|j| j.get("type").and_then(|t| t.as_str()) == Some("epoch"))
+            .collect();
+        assert_eq!(epochs.len(), cfg.epochs);
+        let lrs: Vec<f64> = epochs
+            .iter()
+            .map(|e| e.get("lr").unwrap().as_f64().unwrap())
+            .collect();
+        assert!((lrs[0] - 0.05).abs() < 1e-6, "{lrs:?}");
+        assert!(
+            lrs.windows(2).all(|w| w[1] < w[0]),
+            "lr must decay monotonically: {lrs:?}"
+        );
+        // Events mirror the returned history.
+        for (e, h) in epochs.iter().zip(&history) {
+            let loss = e.get("loss").unwrap().as_f64().unwrap();
+            assert!((loss - h.loss).abs() < 1e-9);
+            assert!(e.get("elapsed_secs").unwrap().as_f64().unwrap() >= 0.0);
+            assert!(h.elapsed_secs >= 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Structured telemetry events and their JSONL / pretty renderings.
+
+use crate::json;
+
+/// One field value of an [`Event`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes, FLOPs).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (losses, accuracies, seconds).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (names, phases, paths).
+    Str(String),
+}
+
+/// A structured telemetry record: a type name, a timestamp relative to
+/// observability start, and ordered key/value fields.
+///
+/// Build with the fluent setters and hand to [`crate::emit`]:
+///
+/// ```
+/// use cap_obs::Event;
+/// let e = Event::new("epoch").u64("epoch", 3).f64("lr", 0.01);
+/// assert!(e.to_jsonl().starts_with("{\"type\":\"epoch\""));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event type, e.g. `"epoch"` or `"prune_iteration"`.
+    pub kind: &'static str,
+    /// Seconds since observability was initialised (monotonic).
+    pub t: f64,
+    /// Ordered fields.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Event {
+    /// Starts an event of type `kind`, stamped with the current
+    /// monotonic offset.
+    pub fn new(kind: &'static str) -> Self {
+        Event {
+            kind,
+            t: crate::uptime_secs(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, key: &'static str, v: u64) -> Self {
+        self.fields.push((key, Value::U64(v)));
+        self
+    }
+
+    /// Adds a signed integer field.
+    #[must_use]
+    pub fn i64(mut self, key: &'static str, v: i64) -> Self {
+        self.fields.push((key, Value::I64(v)));
+        self
+    }
+
+    /// Adds a float field.
+    #[must_use]
+    pub fn f64(mut self, key: &'static str, v: f64) -> Self {
+        self.fields.push((key, Value::F64(v)));
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &'static str, v: bool) -> Self {
+        self.fields.push((key, Value::Bool(v)));
+        self
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, key: &'static str, v: impl Into<String>) -> Self {
+        self.fields.push((key, Value::Str(v.into())));
+        self
+    }
+
+    /// Renders the event as one JSON object (no trailing newline):
+    /// `{"type":...,"t":...,<fields>}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        out.push_str("{\"type\":");
+        json::write_str(&mut out, self.kind);
+        out.push_str(",\"t\":");
+        json::write_f64(&mut out, (self.t * 1e6).round() / 1e6);
+        for (key, value) in &self.fields {
+            out.push(',');
+            json::write_str(&mut out, key);
+            out.push(':');
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => json::write_f64(&mut out, *v),
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                Value::Str(s) => json::write_str(&mut out, s),
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Renders the event as one aligned human-readable line:
+    /// `[ +12.345s] epoch  epoch=3 lr=0.01`.
+    pub fn to_pretty(&self) -> String {
+        let mut out = format!("[{:>+9.3}s] {:<16}", self.t, self.kind);
+        for (key, value) in &self.fields {
+            out.push(' ');
+            out.push_str(key);
+            out.push('=');
+            match value {
+                Value::U64(v) => out.push_str(&v.to_string()),
+                Value::I64(v) => out.push_str(&v.to_string()),
+                Value::F64(v) => out.push_str(&format_compact_f64(*v)),
+                Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                Value::Str(s) => out.push_str(s),
+            }
+        }
+        out
+    }
+}
+
+/// Formats floats for the pretty sink: fixed-point for moderate
+/// magnitudes, scientific for extremes, full digits never needed.
+fn format_compact_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a == 0.0 {
+        "0".to_string()
+    } else if !(1e-4..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn jsonl_rendering_is_parseable_and_ordered() {
+        let e = Event {
+            kind: "epoch",
+            t: 1.25,
+            fields: vec![
+                ("epoch", Value::U64(3)),
+                ("loss", Value::F64(0.5)),
+                ("note", Value::Str("a\"b".into())),
+                ("done", Value::Bool(false)),
+                ("delta", Value::I64(-4)),
+            ],
+        };
+        let line = e.to_jsonl();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("epoch"));
+        assert_eq!(v.get("t").unwrap().as_f64(), Some(1.25));
+        assert_eq!(v.get("epoch").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("loss").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("note").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.get("done"), Some(&json::Json::Bool(false)));
+        assert_eq!(v.get("delta").unwrap().as_f64(), Some(-4.0));
+    }
+
+    #[test]
+    fn nan_fields_become_null() {
+        let e = Event {
+            kind: "x",
+            t: 0.0,
+            fields: vec![("v", Value::F64(f64::NAN))],
+        };
+        let v = json::parse(&e.to_jsonl()).unwrap();
+        assert_eq!(v.get("v"), Some(&json::Json::Null));
+    }
+
+    #[test]
+    fn pretty_line_contains_fields() {
+        let e = Event {
+            kind: "epoch",
+            t: 2.0,
+            fields: vec![("epoch", Value::U64(1)), ("lr", Value::F64(0.0099))],
+        };
+        let line = e.to_pretty();
+        assert!(line.contains("epoch=1"), "{line}");
+        assert!(line.contains("lr=0.0099"), "{line}");
+        assert!(line.starts_with("[   +2.000s] epoch"), "{line}");
+    }
+}

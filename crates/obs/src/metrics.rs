@@ -1,0 +1,354 @@
+//! The metrics registry: counters, gauges, and log-bucketed histograms
+//! with percentile summaries, behind one process-wide thread-safe store.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Sub-buckets per power of two. Four gives ~19% bucket-width relative
+/// error on percentile estimates, plenty for latency telemetry.
+const SUB: f64 = 4.0;
+/// Number of histogram buckets: bucket 0 holds values `< 1.0`; the rest
+/// cover `[1, 2^63)` in `SUB` buckets per octave.
+const BUCKETS: usize = 1 + 63 * 4;
+
+/// A log-bucketed histogram over non-negative samples.
+///
+/// Records are O(1); summaries walk the fixed bucket array. Exact
+/// `min`/`max`/`sum`/`count` are tracked alongside the buckets, so
+/// `mean` and `max` are exact while `p50`/`p95` are bucket-resolution
+/// estimates.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    // Negative, NaN and sub-unit samples land in bucket 0.
+    if v.is_nan() || v < 1.0 {
+        return 0;
+    }
+    let idx = 1 + (v.log2() * SUB).floor() as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Lower edge of bucket `idx` (inverse of [`bucket_index`]).
+fn bucket_lower(idx: usize) -> f64 {
+    if idx == 0 {
+        0.0
+    } else {
+        2f64.powf((idx - 1) as f64 / SUB)
+    }
+}
+
+impl Histogram {
+    /// Adds one sample.
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact maximum, or 0 for an empty histogram.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum, or 0 for an empty histogram.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Bucket-resolution estimate of quantile `q` in `[0, 1]`: the
+    /// geometric centre of the bucket holding the `ceil(q · count)`-th
+    /// sample, clamped to the exact `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                let lo = bucket_lower(idx);
+                let hi = bucket_lower(idx + 1);
+                let mid = if idx == 0 { 0.5 } else { (lo * hi).sqrt() };
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for [`Histogram::quantile`]`(0.5)`.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Shorthand for [`Histogram::quantile`]`(0.95)`.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+}
+
+/// One metric slot in the registry.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-write-wins value.
+    Gauge(f64),
+    /// Sample distribution.
+    Histogram(Histogram),
+}
+
+/// A thread-safe named metric store.
+///
+/// All mutating entry points lock one internal mutex; with sub-µs
+/// critical sections this stays negligible next to the work being
+/// measured, and keeps the store correct under future data-parallel
+/// training (rayon-style worker pools hammering one registry).
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero first if needed.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += n,
+            other => *other = Metric::Counter(n),
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        m.insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Records sample `v` into histogram `name`.
+    pub fn histogram_record(&self, name: &str, v: f64) {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::default()))
+        {
+            Metric::Histogram(h) => h.record(v),
+            other => {
+                let mut h = Histogram::default();
+                h.record(v);
+                *other = Metric::Histogram(h);
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Metric)> {
+        let m = self.metrics.lock().unwrap();
+        m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Removes every metric (test isolation).
+    pub fn reset(&self) {
+        self.metrics.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_and_inverse_consistent() {
+        let mut last = 0;
+        for i in 0..2000 {
+            let v = 1.1f64.powi(i);
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index must be monotone in the sample");
+            last = idx;
+            if idx > 0 && idx < BUCKETS - 1 {
+                assert!(bucket_lower(idx) <= v * 1.0001, "lower edge above sample");
+                assert!(
+                    bucket_lower(idx + 1) >= v * 0.9999,
+                    "upper edge below sample"
+                );
+            }
+        }
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-5.0), 0);
+        assert_eq!(bucket_index(0.999), 0);
+        assert_eq!(bucket_index(1.0), 1);
+    }
+
+    #[test]
+    fn histogram_summaries_track_uniform_data() {
+        let mut h = Histogram::default();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.min(), 1.0);
+        assert!((h.mean() - 500.5).abs() < 1e-9);
+        // Log-bucketed estimates: allow one bucket (~19%) of error.
+        let p50 = h.p50();
+        assert!((400.0..=620.0).contains(&p50), "p50 {p50}");
+        let p95 = h.p95();
+        assert!((780.0..=1000.0).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn histogram_extremes_and_empty() {
+        let h = Histogram::default();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0.0);
+
+        let mut h = Histogram::default();
+        h.record(f64::NAN); // dropped
+        h.record(0.0);
+        h.record(1e30);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 1e30);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let mut h = Histogram::default();
+        for i in 0..500 {
+            h.record((i * 7 % 997) as f64);
+        }
+        let mut last = 0.0;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn registry_counter_gauge_histogram() {
+        let r = Registry::new();
+        r.counter_add("events", 2);
+        r.counter_add("events", 3);
+        r.gauge_set("lr", 0.01);
+        r.gauge_set("lr", 0.005);
+        r.histogram_record("lat", 10.0);
+        r.histogram_record("lat", 20.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        match snap.iter().find(|(k, _)| k == "events").map(|(_, v)| v) {
+            Some(Metric::Counter(5)) => {}
+            other => panic!("bad counter: {other:?}"),
+        }
+        match snap.iter().find(|(k, _)| k == "lr").map(|(_, v)| v) {
+            Some(Metric::Gauge(v)) => assert_eq!(*v, 0.005),
+            other => panic!("bad gauge: {other:?}"),
+        }
+        match snap.iter().find(|(k, _)| k == "lat").map(|(_, v)| v) {
+            Some(Metric::Histogram(h)) => {
+                assert_eq!(h.count(), 2);
+                assert_eq!(h.sum(), 30.0);
+            }
+            other => panic!("bad histogram: {other:?}"),
+        }
+        r.reset();
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn registry_survives_concurrent_hammering() {
+        use std::sync::Arc;
+        let r = Arc::new(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        r.counter_add("shared.counter", 1);
+                        r.histogram_record("shared.hist", (t * 1000 + i) as f64);
+                        r.gauge_set("shared.gauge", i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = r.snapshot();
+        match snap
+            .iter()
+            .find(|(k, _)| k == "shared.counter")
+            .map(|(_, v)| v)
+        {
+            Some(Metric::Counter(c)) => assert_eq!(*c, 8000),
+            other => panic!("bad counter: {other:?}"),
+        }
+        match snap
+            .iter()
+            .find(|(k, _)| k == "shared.hist")
+            .map(|(_, v)| v)
+        {
+            Some(Metric::Histogram(h)) => assert_eq!(h.count(), 8000),
+            other => panic!("bad histogram: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Pluggable event sinks: pretty (stderr), JSONL (file), capture (test).
+
+use crate::event::Event;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Receives every emitted [`Event`].
+///
+/// Implementations must be internally synchronised — the global sink is
+/// shared across threads.
+pub trait Sink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes buffered output (called on [`crate::flush`] and when the
+    /// sink is replaced).
+    fn flush(&self) {}
+}
+
+/// Human-readable narration to stderr, one line per event.
+///
+/// Writes to stderr so binaries keep stdout byte-stable for their data
+/// artefacts (tables, figures) while narration goes to the tty / log.
+#[derive(Debug, Default)]
+pub struct PrettySink;
+
+impl Sink for PrettySink {
+    fn emit(&self, event: &Event) {
+        eprintln!("{}", event.to_pretty());
+    }
+}
+
+/// Machine-readable JSON-lines to a file: one JSON object per event.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and returns a sink writing to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the formatted I/O error when the file cannot be created.
+    pub fn create(path: &str) -> Result<Self, String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        Ok(JsonlSink {
+            writer: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap();
+        // A failed telemetry write must never take down the workload.
+        let _ = writeln!(w, "{}", event.to_jsonl());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().unwrap().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut w) = self.writer.lock() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Test sink buffering JSONL renderings in memory.
+///
+/// Clone the handle before installing the sink; the clone shares the
+/// buffer:
+///
+/// ```
+/// use cap_obs::sink::{CaptureSink, Sink};
+/// let sink = CaptureSink::new();
+/// let handle = sink.handle();
+/// sink.emit(&cap_obs::Event::new("x"));
+/// assert_eq!(handle.lines().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct CaptureSink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+/// Read-side handle of a [`CaptureSink`].
+#[derive(Debug, Clone, Default)]
+pub struct CaptureHandle {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl CaptureSink {
+    /// Creates an empty capture sink.
+    pub fn new() -> Self {
+        CaptureSink::default()
+    }
+
+    /// A handle that reads this sink's buffer even after the sink moved
+    /// into the global slot.
+    pub fn handle(&self) -> CaptureHandle {
+        CaptureHandle {
+            lines: Arc::clone(&self.lines),
+        }
+    }
+}
+
+impl CaptureHandle {
+    /// Copy of all captured JSONL lines.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap().clone()
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&self) {
+        self.lines.lock().unwrap().clear();
+    }
+}
+
+impl Sink for CaptureSink {
+    fn emit(&self, event: &Event) {
+        self.lines.lock().unwrap().push(event.to_jsonl());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cap_obs_sink_test_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        {
+            let sink = JsonlSink::create(&path_str).unwrap();
+            sink.emit(&Event::new("alpha").u64("n", 1));
+            sink.emit(&Event::new("beta").str("s", "x\ny"));
+            sink.flush();
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            crate::json::parse(line).unwrap();
+        }
+        assert!(lines[1].contains("x\\ny"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn jsonl_sink_create_reports_errors() {
+        assert!(JsonlSink::create("/nonexistent-dir-zzz/x.jsonl").is_err());
+    }
+
+    #[test]
+    fn capture_sink_shares_buffer_with_handle() {
+        let sink = CaptureSink::new();
+        let handle = sink.handle();
+        sink.emit(&Event::new("one"));
+        sink.emit(&Event::new("two"));
+        let lines = handle.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"one\""));
+        handle.clear();
+        assert!(handle.lines().is_empty());
+    }
+}

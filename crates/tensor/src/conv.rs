@@ -122,6 +122,7 @@ impl Conv2dGeometry {
 /// Returns [`TensorError::InvalidShape`] if `input` is not 4-D or the
 /// sample index / channel count disagrees with `geom`.
 pub fn im2col(input: &Tensor, n: usize, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    let _span = cap_obs::span!("tensor.im2col");
     if input.ndim() != 4 {
         return Err(TensorError::InvalidShape {
             shape: input.shape().to_vec(),
@@ -186,6 +187,7 @@ pub fn col2im(
     n: usize,
     geom: &Conv2dGeometry,
 ) -> Result<(), TensorError> {
+    let _span = cap_obs::span!("tensor.col2im");
     if cols.ndim() != 2 || cols.dim(0) != geom.col_rows() || cols.dim(1) != geom.col_cols() {
         return Err(TensorError::InvalidShape {
             shape: cols.shape().to_vec(),

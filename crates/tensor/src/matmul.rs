@@ -24,6 +24,7 @@ use crate::{Tensor, TensorError};
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let _span = cap_obs::span!("tensor.matmul");
     let (m, k) = check2d(a, "matmul lhs")?;
     let (kb, n) = check2d(b, "matmul rhs")?;
     if k != kb {
@@ -60,6 +61,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::InvalidShape`] for non-matrices and
 /// [`TensorError::ShapeMismatch`] if the shared dimension `k` disagrees.
 pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let _span = cap_obs::span!("tensor.matmul_ta");
     let (k, m) = check2d(a, "matmul_transpose_a lhs")?;
     let (kb, n) = check2d(b, "matmul_transpose_a rhs")?;
     if k != kb {
@@ -96,6 +98,7 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError>
 /// Returns [`TensorError::InvalidShape`] for non-matrices and
 /// [`TensorError::ShapeMismatch`] if the shared dimension `k` disagrees.
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let _span = cap_obs::span!("tensor.matmul_tb");
     let (m, k) = check2d(a, "matmul_transpose_b lhs")?;
     let (n, kb) = check2d(b, "matmul_transpose_b rhs")?;
     if k != kb {

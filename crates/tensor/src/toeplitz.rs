@@ -40,6 +40,7 @@ use crate::{Conv2dGeometry, Tensor, TensorError};
 /// # }
 /// ```
 pub fn toeplitz_matrix(weight: &Tensor, geom: &Conv2dGeometry) -> Result<Tensor, TensorError> {
+    let _span = cap_obs::span!("tensor.toeplitz");
     check_weight(weight, geom)?;
     let k = geom.kernel;
     let rows = geom.out_channels * geom.out_h * geom.out_w;

@@ -1,8 +1,17 @@
 //! `capctl` — command-line inspector for `.capn` network checkpoints.
 //!
 //! ```text
-//! capctl info  <file>   print layer-by-layer structure and totals
-//! capctl flops <file> <C> <H> <W>   cost analysis at an input size
+//! capctl [--trace <spec>] info  <file>   print layer-by-layer structure and totals
+//! capctl [--trace <spec>] flops <file> <C> <H> <W>   cost analysis at an input size
+//! ```
+//!
+//! Tracing: `--trace pretty` narrates events on stderr, `--trace
+//! jsonl:<path>` writes machine-readable JSON lines (append `,detail`
+//! for per-span events). The `CAP_TRACE` environment variable accepts
+//! the same grammar:
+//!
+//! ```text
+//! CAP_TRACE=jsonl:run.jsonl cargo run --bin capctl -- info model.capn
 //! ```
 
 use cap_core::analyze_network;
@@ -49,9 +58,30 @@ fn describe(net: &Network) {
     }
 }
 
+/// Strips `--trace <spec>` from the argument list and initialises the
+/// observability layer from it (or from `CAP_TRACE` when absent).
+fn init_trace(args: &mut Vec<String>) -> Result<(), String> {
+    if let Some(pos) = args.iter().position(|a| a == "--trace") {
+        if pos + 1 >= args.len() {
+            return Err("--trace requires a spec (pretty | jsonl:<path>[,detail])".to_string());
+        }
+        let spec = args.remove(pos + 1);
+        args.remove(pos);
+        cap_obs::init_from_spec(&spec)?;
+    } else {
+        cap_obs::init_from_env()?;
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().collect();
-    let usage = "usage: capctl info <file> | capctl flops <file> <C> <H> <W>";
+    let mut args: Vec<String> = std::env::args().collect();
+    let usage = "usage: capctl [--trace <spec>] info <file> | capctl [--trace <spec>] flops <file> <C> <H> <W>";
+    init_trace(&mut args)?;
+    let _span = cap_obs::span!("capctl.run");
+    if let Some(cmd) = args.get(1) {
+        cap_obs::emit(cap_obs::Event::new("capctl").str("command", cmd.clone()));
+    }
     match args.get(1).map(String::as_str) {
         Some("info") => {
             let path = args.get(2).ok_or(usage)?;
@@ -90,7 +120,9 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let result = run();
+    cap_obs::flush();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("{e}");

@@ -1,0 +1,291 @@
+#![warn(missing_docs)]
+
+//! Offline drop-in subset of the [`criterion`](https://docs.rs/criterion/0.5)
+//! benchmark harness.
+//!
+//! This workspace builds in environments without a crates.io mirror, so
+//! the Criterion surface used by the `cap-bench` benches is
+//! reimplemented here dependency-free: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_with_setup`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and
+//! [`black_box`].
+//!
+//! Measurement model: after a wall-clock warm-up, each of the
+//! configured samples times a batch of iterations sized so the whole
+//! measurement fits the configured measurement time, then reports the
+//! min / median / max per-iteration latency across samples.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench runner configuration and registry (subset of upstream).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream defaults are 100 samples / 3 s warm-up / 5 s
+        // measurement; the benches here override what matters.
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: std::env::args().skip(1).find(|a| !a.starts_with('-')),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget the samples should roughly fill.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Times the closure handed to it by a benchmark target.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also yields a latency estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let per_sample_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_size.max(1) as f64;
+        let batch = ((per_sample_ns / est_ns).round() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Benchmarks `routine` on a fresh `setup()` value per iteration;
+    /// only the routine is timed.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut est_ns = 1.0f64;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            est_ns = t.elapsed().as_nanos() as f64;
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+
+        let per_sample_ns =
+            self.measurement_time.as_nanos() as f64 / self.sample_size.max(1) as f64;
+        let batch = ((per_sample_ns / est_ns.max(1.0)).round() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        println!(
+            "{id:<40} time:   [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+
+    /// Median per-iteration latency in nanoseconds of the last run.
+    pub fn median_ns(&self) -> f64 {
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark targets into a named group function, mirroring
+/// upstream's two grammars.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a bench binary with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench` (and `cargo test --benches`
+            // passes `--test`); both are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(25));
+        let mut medians = Vec::new();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            });
+            medians.push(b.median_ns());
+        });
+        assert_eq!(medians.len(), 1);
+        assert!(medians[0] > 0.0);
+    }
+
+    #[test]
+    fn iter_with_setup_times_only_routine() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("setup", |b| {
+            b.iter_with_setup(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            );
+            assert!(b.median_ns() > 0.0);
+        });
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1u32));
+        }
+        criterion_group!(
+            name = tiny;
+            config = Criterion::default()
+                .sample_size(2)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2));
+            targets = target
+        );
+        tiny();
+    }
+}
