@@ -1,0 +1,398 @@
+//! Kernel and end-to-end benchmarks at `CAP_THREADS = 1` and `= N`,
+//! writing `BENCH_kernels.json` so the perf trajectory of the parallel
+//! execution layer is tracked from PR 2 onward.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks every workload for CI; `--threads` picks the
+//! multi-thread measurement point (default 4); `--mm-dim` overrides the
+//! square matmul dimension (default 192, smoke 96); `--out` overrides
+//! the JSON path (default `BENCH_kernels.json` in the current directory).
+//! Thread counts are applied with `cap_par::set_threads`, so one process
+//! measures both points; the determinism contract guarantees the outputs
+//! are bit-identical either way, making the comparison pure timing.
+
+use cap_core::{evaluate_scores, find_prunable_sites, ClassAwarePruner, PruneConfig, ScoreConfig};
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_models::{vgg16, ModelConfig};
+use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
+use cap_nn::{Network, TrainConfig};
+use cap_obs::json::{write_f64, write_str};
+use cap_tensor::{matmul, Tensor};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+struct Options {
+    smoke: bool,
+    threads: usize,
+    mm_dim: Option<usize>,
+    out: String,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        smoke: false,
+        threads: 4,
+        mm_dim: None,
+        out: "BENCH_kernels.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--threads" => {
+                let v = args.next().unwrap_or_default();
+                opts.threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads expects a positive integer, got {v:?}");
+                    std::process::exit(2);
+                });
+                if opts.threads == 0 {
+                    eprintln!("--threads must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--mm-dim" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse() {
+                    Ok(d) if d > 0 => opts.mm_dim = Some(d),
+                    _ => {
+                        eprintln!("--mm-dim expects a positive integer, got {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => {
+                opts.out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!(
+                    "usage: bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// One timing measurement: `op` at `shape` with `threads`.
+struct Record {
+    op: &'static str,
+    shape: String,
+    threads: usize,
+    ns_per_iter: f64,
+}
+
+/// Times `f`: one warmup call, then repeats until the budget elapses or
+/// `max_iters` is hit, returning mean ns/iter.
+fn measure<F: FnMut()>(mut f: F, budget: Duration, max_iters: usize) -> f64 {
+    f();
+    let start = Instant::now();
+    let mut iters = 0usize;
+    loop {
+        f();
+        iters += 1;
+        if iters >= max_iters || start.elapsed() >= budget {
+            break;
+        }
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(0)
+}
+
+/// The old serial i-k-j matmul loop, kept here as the reference point
+/// the blocked kernel is measured against (the serial win is the only
+/// one observable on single-core hosts).
+fn matmul_naive_ref(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(vec![m, n], out).expect("sized to shape")
+}
+
+fn scoring_setup(smoke: bool) -> (Network, SyntheticDataset, ScoreConfig) {
+    let mut r = rng();
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 16, 3, 1, 1, false, &mut r).expect("conv"));
+    net.push(BatchNorm2d::new(16).expect("bn"));
+    net.push(Relu::new());
+    net.push(Conv2d::new(16, 16, 3, 1, 1, false, &mut r).expect("conv"));
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(16, 10, &mut r).expect("linear"));
+    let data = SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(8)
+            .with_counts(if smoke { 4 } else { 12 }, 2),
+    )
+    .expect("synthetic data");
+    let cfg = ScoreConfig {
+        images_per_class: if smoke { 2 } else { 6 },
+        ..ScoreConfig::default()
+    };
+    (net, data, cfg)
+}
+
+fn pruning_setup(smoke: bool) -> (Network, SyntheticDataset, ClassAwarePruner) {
+    let image = if smoke { 8 } else { 16 };
+    let cfg = ModelConfig::new(10)
+        .with_width(0.125)
+        .with_image_size(image);
+    let net = vgg16(&cfg, &mut rng()).expect("vgg16");
+    let data = SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(image)
+            .with_counts(if smoke { 4 } else { 10 }, 2),
+    )
+    .expect("synthetic data");
+    let prune_cfg = PruneConfig {
+        score: ScoreConfig {
+            images_per_class: if smoke { 2 } else { 4 },
+            ..ScoreConfig::default()
+        },
+        finetune: TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..TrainConfig::default()
+        },
+        max_iterations: 1,
+        // The net is untrained; a generous limit keeps the single
+        // iteration from rolling back so the timing covers the full
+        // score → surgery → finetune → evaluate cycle.
+        accuracy_drop_limit: 1.0,
+        ..PruneConfig::default()
+    };
+    let pruner = ClassAwarePruner::new(prune_cfg).expect("pruner config");
+    (net, data, pruner)
+}
+
+fn run_benches(opts: &Options, thread_points: &[usize]) -> Vec<Record> {
+    let mut records = Vec::new();
+    let budget = if opts.smoke {
+        Duration::from_millis(60)
+    } else {
+        Duration::from_millis(400)
+    };
+    let max_iters = if opts.smoke { 5 } else { 40 };
+
+    // Two matmul sizes by default: one conv-layer-typical (operands fit
+    // in L2, where the naive loop is already competitive) and one large
+    // enough to spill cache, where blocking pays off serially.
+    let mm_dims: Vec<usize> = match opts.mm_dim {
+        Some(d) => vec![d],
+        None if opts.smoke => vec![96],
+        None => vec![192, 1024],
+    };
+    let mm_cases: Vec<(Tensor, Tensor, String)> = mm_dims
+        .iter()
+        .map(|&d| {
+            (
+                Tensor::from_fn(&[d, d], |i| (i as f32 * 0.013).sin()),
+                Tensor::from_fn(&[d, d], |i| (i as f32 * 0.007).cos()),
+                format!("{d}x{d}x{d}"),
+            )
+        })
+        .collect();
+
+    let (cn, cc, chw) = if opts.smoke { (4, 16, 8) } else { (8, 16, 16) };
+    let conv_shape = format!("{cn}x{cc}x{chw}x{chw}->32c3");
+    let x = cap_tensor::randn(&[cn, cc, chw, chw], 0.0, 1.0, &mut rng());
+
+    for &threads in thread_points {
+        cap_par::set_threads(threads);
+        eprintln!("== threads = {threads} ==");
+
+        for (a, b, mm_shape) in &mm_cases {
+            records.push(Record {
+                op: "matmul",
+                shape: mm_shape.clone(),
+                threads,
+                ns_per_iter: measure(
+                    || {
+                        black_box(matmul(black_box(a), black_box(b)).expect("matmul"));
+                    },
+                    budget,
+                    max_iters,
+                ),
+            });
+
+            if threads == 1 {
+                records.push(Record {
+                    op: "matmul_naive_ref",
+                    shape: mm_shape.clone(),
+                    threads,
+                    ns_per_iter: measure(
+                        || {
+                            black_box(matmul_naive_ref(black_box(a), black_box(b)));
+                        },
+                        budget,
+                        max_iters,
+                    ),
+                });
+            }
+        }
+
+        let mut conv = Conv2d::new(cc, 32, 3, 1, 1, false, &mut rng()).expect("conv");
+        records.push(Record {
+            op: "conv2d_forward",
+            shape: conv_shape.clone(),
+            threads,
+            ns_per_iter: measure(
+                || {
+                    black_box(conv.forward(black_box(&x)).expect("forward"));
+                },
+                budget,
+                max_iters,
+            ),
+        });
+        let y = conv.forward(&x).expect("forward");
+        let g = Tensor::ones(y.shape());
+        records.push(Record {
+            op: "conv2d_backward",
+            shape: conv_shape.clone(),
+            threads,
+            ns_per_iter: measure(
+                || {
+                    conv.zero_grad();
+                    black_box(conv.backward(black_box(&g)).expect("backward"));
+                },
+                budget,
+                max_iters,
+            ),
+        });
+
+        let (mut net, data, score_cfg) = scoring_setup(opts.smoke);
+        let sites = find_prunable_sites(&net);
+        records.push(Record {
+            op: "taylor_scoring",
+            shape: format!("2sites_10classes_m{}", score_cfg.images_per_class),
+            threads,
+            ns_per_iter: measure(
+                || {
+                    black_box(
+                        evaluate_scores(&mut net, &sites, data.train(), &score_cfg)
+                            .expect("scoring"),
+                    );
+                },
+                budget,
+                max_iters,
+            ),
+        });
+
+        let (e2e_net, e2e_data, pruner) = pruning_setup(opts.smoke);
+        records.push(Record {
+            op: "prune_iteration_e2e",
+            shape: format!("vgg16_w0.125_im{}", if opts.smoke { 8 } else { 16 }),
+            threads,
+            ns_per_iter: measure(
+                || {
+                    let mut fresh = e2e_net.clone();
+                    black_box(
+                        pruner
+                            .run(&mut fresh, e2e_data.train(), e2e_data.test())
+                            .expect("prune iteration"),
+                    );
+                },
+                if opts.smoke {
+                    Duration::from_millis(1)
+                } else {
+                    Duration::from_secs(2)
+                },
+                if opts.smoke { 1 } else { 3 },
+            ),
+        });
+    }
+    records
+}
+
+fn write_json(opts: &Options, thread_points: &[usize], records: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"machine\": {\"arch\": ");
+    write_str(&mut out, std::env::consts::ARCH);
+    out.push_str(", \"os\": ");
+    write_str(&mut out, std::env::consts::OS);
+    out.push_str(", \"available_parallelism\": ");
+    let avail = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    out.push_str(&avail.to_string());
+    out.push_str("},\n  \"smoke\": ");
+    out.push_str(if opts.smoke { "true" } else { "false" });
+    out.push_str(",\n  \"threads_tested\": [");
+    for (i, t) in thread_points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&t.to_string());
+    }
+    out.push_str("],\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let serial_ns = records
+            .iter()
+            .find(|s| s.op == r.op && s.shape == r.shape && s.threads == 1)
+            .map(|s| s.ns_per_iter);
+        out.push_str("    {\"op\": ");
+        write_str(&mut out, r.op);
+        out.push_str(", \"shape\": ");
+        write_str(&mut out, &r.shape);
+        out.push_str(", \"threads\": ");
+        out.push_str(&r.threads.to_string());
+        out.push_str(", \"ns_per_iter\": ");
+        write_f64(&mut out, r.ns_per_iter);
+        out.push_str(", \"speedup_vs_1t\": ");
+        match serial_ns {
+            Some(s) if r.ns_per_iter > 0.0 => write_f64(&mut out, s / r.ns_per_iter),
+            _ => out.push_str("null"),
+        }
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let opts = parse_args();
+    let thread_points: Vec<usize> = if opts.threads == 1 {
+        vec![1]
+    } else {
+        vec![1, opts.threads]
+    };
+    let records = run_benches(&opts, &thread_points);
+    let json = write_json(&opts, &thread_points, &records);
+    std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    for r in &records {
+        println!(
+            "{:<22} {:<24} threads={} {:>14.0} ns/iter",
+            r.op, r.shape, r.threads, r.ns_per_iter
+        );
+    }
+    println!("wrote {}", opts.out);
+}

@@ -239,28 +239,36 @@ fn accumulate_site_class_score(
         }
     };
     let plane = activations.len() / (m * filters);
-    for (f, score) in acc.scores.iter_mut().enumerate() {
-        // s_ave over positions; track the max on the fly (Eq. 6-7).
-        let mut best = 0.0f64;
-        for pos in 0..plane {
-            let mut hits = 0usize;
-            for sample in 0..m {
-                let idx = (sample * filters + f) * plane + pos;
-                let theta = f64::from((activations[idx] * grads[idx]).abs());
-                if theta > tau {
-                    hits += 1;
+    // Filters are independent: each task owns a contiguous run of score
+    // slots and runs the unchanged per-filter loop, so the result is
+    // bit-identical for any thread count. (The class loop above stays
+    // serial to preserve the rng sampling sequence exactly.)
+    let chunk = filters.div_ceil(cap_par::effective_parallelism());
+    cap_par::parallel_chunks_mut(&mut acc.scores, chunk, |ci, scores| {
+        for (j, score) in scores.iter_mut().enumerate() {
+            let f = ci * chunk + j;
+            // s_ave over positions; track the max on the fly (Eq. 6-7).
+            let mut best = 0.0f64;
+            for pos in 0..plane {
+                let mut hits = 0usize;
+                for sample in 0..m {
+                    let idx = (sample * filters + f) * plane + pos;
+                    let theta = f64::from((activations[idx] * grads[idx]).abs());
+                    if theta > tau {
+                        hits += 1;
+                    }
+                }
+                let s_ave = hits as f64 / m as f64;
+                if s_ave > best {
+                    best = s_ave;
+                    if best >= 1.0 {
+                        break;
+                    }
                 }
             }
-            let s_ave = hits as f64 / m as f64;
-            if s_ave > best {
-                best = s_ave;
-                if best >= 1.0 {
-                    break;
-                }
-            }
+            *score += best;
         }
-        *score += best;
-    }
+    });
 }
 
 #[cfg(test)]
@@ -335,6 +343,26 @@ mod tests {
         let a = evaluate_scores(&mut net, &sites, data.train(), &ScoreConfig::default()).unwrap();
         let b = evaluate_scores(&mut net, &sites, data.train(), &ScoreConfig::default()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scores_bit_identical_across_thread_counts() {
+        let data = tiny_data();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = tiny_net(&mut rng);
+        let sites = find_prunable_sites(&net);
+        let prior = cap_par::threads();
+        cap_par::set_threads(1);
+        let serial =
+            evaluate_scores(&mut net, &sites, data.train(), &ScoreConfig::default()).unwrap();
+        cap_par::set_threads(4);
+        let parallel =
+            evaluate_scores(&mut net, &sites, data.train(), &ScoreConfig::default()).unwrap();
+        cap_par::set_threads(prior);
+        assert_eq!(serial.total_filters(), parallel.total_filters());
+        for ((_, _, a), (_, _, b)) in serial.iter_scores().zip(parallel.iter_scores()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
     }
 
     #[test]

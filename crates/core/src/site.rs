@@ -167,6 +167,12 @@ fn consumer_of(layers: &[Layer], i: usize) -> Option<Consumer> {
 /// propagating the channel change to the following batch-norm and to the
 /// consumer layer.
 ///
+/// The per-filter copy loops of the surgery live in the layer methods
+/// (`Conv2d::retain_output_channels` / `retain_input_channels`), which
+/// distribute the surviving-weight copies across the `cap-par` pool;
+/// they are pure permutation-selects, so the result is identical for
+/// any thread count.
+///
 /// # Errors
 ///
 /// * [`PruneError::StaleScores`] if `site` no longer matches the network.

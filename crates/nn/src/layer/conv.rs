@@ -1,7 +1,7 @@
 use crate::NnError;
 use cap_tensor::{
-    col2im, im2col, kaiming_normal, matmul, matmul_transpose_a, matmul_transpose_b, Conv2dGeometry,
-    Tensor,
+    col2im_sample, im2col, kaiming_normal, matmul, matmul_transpose_a, matmul_transpose_b,
+    Conv2dGeometry, Tensor,
 };
 use rand::Rng;
 
@@ -248,10 +248,29 @@ impl Conv2d {
         let mut out = Tensor::zeros(&[n, self.out_channels(), geom.out_h, geom.out_w]);
         self.cached_cols.clear();
         let per_sample = self.out_channels() * geom.out_h * geom.out_w;
-        for s in 0..n {
-            let cols = im2col(x, s, &geom)?;
-            let y = matmul(&wmat, &cols)?; // [out_c, oh*ow]
-            out.data_mut()[s * per_sample..(s + 1) * per_sample].copy_from_slice(y.data());
+        // Samples are independent: each task owns one sample's output
+        // slice and im2col matrix, and the per-sample arithmetic is
+        // identical to the serial loop, so any thread count produces
+        // bit-identical results.
+        let mut col_slots: Vec<Option<Result<Tensor, NnError>>> = (0..n).map(|_| None).collect();
+        {
+            let x = &x;
+            let geom = &geom;
+            let wmat = &wmat;
+            let tasks: Vec<cap_par::ScopedTask<'_>> = out.data_mut()[..n * per_sample]
+                .chunks_mut(per_sample)
+                .zip(col_slots.iter_mut())
+                .enumerate()
+                .map(|(s, (chunk, slot))| {
+                    Box::new(move || {
+                        *slot = Some(forward_sample(x, s, geom, wmat, chunk));
+                    }) as cap_par::ScopedTask<'_>
+                })
+                .collect();
+            cap_par::run_tasks(tasks);
+        }
+        for slot in col_slots {
+            let cols = slot.expect("forward task filled its slot")?;
             self.cached_cols.push(cols);
         }
         if let Some(b) = &self.bias {
@@ -308,18 +327,52 @@ impl Conv2d {
         let mut grad_wmat = Tensor::zeros(&[geom.out_channels, geom.in_channels * k * k]);
         let mut grad_in = Tensor::zeros(&[n, geom.in_channels, geom.in_h, geom.in_w]);
         let per_sample = geom.out_channels * geom.out_h * geom.out_w;
-        for s in 0..n {
-            let g = Tensor::from_vec(
-                vec![geom.out_channels, geom.out_h * geom.out_w],
-                grad_out.data()[s * per_sample..(s + 1) * per_sample].to_vec(),
-            )?;
-            let cols = &self.cached_cols[s];
-            // dW += g · colsᵀ
-            let gw = matmul_transpose_b(&g, cols)?;
-            grad_wmat.axpy(1.0, &gw)?;
-            // dcols = Wᵀ · g ; dX = col2im(dcols)
-            let gcols = matmul_transpose_a(&wmat, &g)?;
-            col2im(&gcols, &mut grad_in, s, &geom)?;
+        let per_in = geom.in_channels * geom.in_h * geom.in_w;
+        // Samples run in parallel waves: each task scatters into its own
+        // sample's grad_in slice (disjoint), while the per-sample weight
+        // gradients are held back and reduced serially in ascending
+        // sample order below — the exact summation order of the serial
+        // loop — so results are bit-identical for any thread count. The
+        // wave bounds memory to `threads` per-sample gw tensors instead
+        // of the whole batch.
+        let wave = cap_par::effective_parallelism().max(1);
+        let cached_cols = &self.cached_cols;
+        let gin_data = grad_in.data_mut();
+        let mut s0 = 0;
+        while s0 < n {
+            let count = wave.min(n - s0);
+            let mut gw_slots: Vec<Option<Result<Tensor, NnError>>> =
+                (0..count).map(|_| None).collect();
+            {
+                let geom = &geom;
+                let wmat = &wmat;
+                let tasks: Vec<cap_par::ScopedTask<'_>> = gin_data
+                    [s0 * per_in..(s0 + count) * per_in]
+                    .chunks_mut(per_in)
+                    .zip(gw_slots.iter_mut())
+                    .enumerate()
+                    .map(|(i, (gin_chunk, slot))| {
+                        let s = s0 + i;
+                        Box::new(move || {
+                            *slot = Some(backward_sample(
+                                grad_out,
+                                s,
+                                per_sample,
+                                geom,
+                                wmat,
+                                &cached_cols[s],
+                                gin_chunk,
+                            ));
+                        }) as cap_par::ScopedTask<'_>
+                    })
+                    .collect();
+                cap_par::run_tasks(tasks);
+            }
+            for slot in gw_slots {
+                let gw = slot.expect("backward task filled its slot")?;
+                grad_wmat.axpy(1.0, &gw)?;
+            }
+            s0 += count;
         }
         let gw4 = grad_wmat.reshape(self.weight.shape())?;
         self.grad_weight.axpy(1.0, &gw4)?;
@@ -354,10 +407,15 @@ impl Conv2d {
         validate_keep(keep, self.out_channels(), "output channels")?;
         let (in_c, k) = (self.in_channels(), self.kernel());
         let fsize = in_c * k * k;
-        let mut w = Vec::with_capacity(keep.len() * fsize);
-        for &f in keep {
-            w.extend_from_slice(&self.weight.data()[f * fsize..(f + 1) * fsize]);
-        }
+        // Surviving filters copy in parallel: chunk i is exactly filter
+        // keep[i], so writes are disjoint and the result is a pure
+        // permutation-select — identical for any thread count.
+        let mut w = vec![0.0f32; keep.len() * fsize];
+        let src = self.weight.data();
+        cap_par::parallel_chunks_mut(&mut w, fsize, |i, chunk| {
+            let f = keep[i];
+            chunk.copy_from_slice(&src[f * fsize..(f + 1) * fsize]);
+        });
         self.weight = Tensor::from_vec(vec![keep.len(), in_c, k, k], w)?;
         self.grad_weight = Tensor::zeros(self.weight.shape());
         if let Some(b) = &self.bias {
@@ -381,13 +439,18 @@ impl Conv2d {
         validate_keep(keep, self.in_channels(), "input channels")?;
         let (out_c, k) = (self.out_channels(), self.kernel());
         let plane = k * k;
-        let mut w = Vec::with_capacity(out_c * keep.len() * plane);
-        for f in 0..out_c {
-            for &c in keep {
-                let base = (f * self.in_channels() + c) * plane;
-                w.extend_from_slice(&self.weight.data()[base..base + plane]);
-            }
-        }
+        // Each chunk is one (filter, kept-channel) kernel plane; the
+        // chunk index determines both source and destination, so the
+        // parallel copy is a pure select.
+        let in_c = self.in_channels();
+        let mut w = vec![0.0f32; out_c * keep.len() * plane];
+        let src = self.weight.data();
+        cap_par::parallel_chunks_mut(&mut w, plane, |i, chunk| {
+            let f = i / keep.len();
+            let c = keep[i % keep.len()];
+            let base = (f * in_c + c) * plane;
+            chunk.copy_from_slice(&src[base..base + plane]);
+        });
         self.weight = Tensor::from_vec(vec![out_c, keep.len(), k, k], w)?;
         self.grad_weight = Tensor::zeros(self.weight.shape());
         self.clear_cache();
@@ -406,6 +469,46 @@ impl Conv2d {
             f(b, gb);
         }
     }
+}
+
+/// One sample of the forward pass: lower to columns, multiply by the
+/// weight matrix, write the result into the sample's output slice and
+/// return the column matrix for the backward cache.
+fn forward_sample(
+    x: &Tensor,
+    s: usize,
+    geom: &Conv2dGeometry,
+    wmat: &Tensor,
+    out_chunk: &mut [f32],
+) -> Result<Tensor, NnError> {
+    let cols = im2col(x, s, geom)?;
+    let y = matmul(wmat, &cols)?; // [out_c, oh*ow]
+    out_chunk.copy_from_slice(y.data());
+    Ok(cols)
+}
+
+/// One sample of the backward pass: scatters the input gradient into the
+/// sample's own `grad_in` slice and returns the sample's weight-gradient
+/// contribution `g · colsᵀ` for the caller to reduce in sample order.
+fn backward_sample(
+    grad_out: &Tensor,
+    s: usize,
+    per_sample: usize,
+    geom: &Conv2dGeometry,
+    wmat: &Tensor,
+    cols: &Tensor,
+    gin_chunk: &mut [f32],
+) -> Result<Tensor, NnError> {
+    let g = Tensor::from_vec(
+        vec![geom.out_channels, geom.out_h * geom.out_w],
+        grad_out.data()[s * per_sample..(s + 1) * per_sample].to_vec(),
+    )?;
+    // dW contribution: g · colsᵀ
+    let gw = matmul_transpose_b(&g, cols)?;
+    // dcols = Wᵀ · g ; dX = col2im(dcols)
+    let gcols = matmul_transpose_a(wmat, &g)?;
+    col2im_sample(&gcols, gin_chunk, geom);
+    Ok(gw)
 }
 
 pub(crate) fn validate_keep(keep: &[usize], limit: usize, what: &str) -> Result<(), NnError> {

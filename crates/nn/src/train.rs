@@ -184,10 +184,50 @@ pub fn evaluate(
         });
     }
     let _span = cap_obs::span!("nn.evaluate");
-    let indices: Vec<usize> = (0..labels.len()).collect();
+    let bs = batch_size.max(1);
+    let num_batches = labels.len().div_ceil(bs);
+    let groups = cap_par::effective_parallelism().min(num_batches);
+    if groups <= 1 {
+        return Ok(
+            evaluate_batches(net, images, labels, bs, 0, num_batches)? as f64 / labels.len() as f64,
+        );
+    }
+    // Inference is pure, so each task evaluates a contiguous run of
+    // batches on its own clone of the network (predict mutates layer
+    // caches). Per-sample predictions are independent of the grouping
+    // and the counts are integers, so the accuracy is exactly the
+    // serial result for any thread count.
+    let batches_per_group = num_batches.div_ceil(groups);
+    let net_ref = &*net;
+    let partials = cap_par::parallel_map(groups, |g| {
+        let start = g * batches_per_group;
+        let end = ((g + 1) * batches_per_group).min(num_batches);
+        let mut replica = net_ref.clone();
+        evaluate_batches(&mut replica, images, labels, bs, start, end)
+    });
     let mut correct = 0usize;
-    for chunk in indices.chunks(batch_size.max(1)) {
-        let x = gather_batch(images, chunk)?;
+    for partial in partials {
+        correct += partial?;
+    }
+    Ok(correct as f64 / labels.len() as f64)
+}
+
+/// Counts correct predictions over batches `start .. end` (batch `i`
+/// covers samples `i*bs .. min((i+1)*bs, len)`).
+fn evaluate_batches(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    bs: usize,
+    start: usize,
+    end: usize,
+) -> Result<usize, NnError> {
+    let mut correct = 0usize;
+    for bi in start..end {
+        let lo = bi * bs;
+        let hi = ((bi + 1) * bs).min(labels.len());
+        let chunk: Vec<usize> = (lo..hi).collect();
+        let x = gather_batch(images, &chunk)?;
         let preds = net.predict(&x)?;
         correct += chunk
             .iter()
@@ -195,7 +235,7 @@ pub fn evaluate(
             .filter(|(&i, &p)| labels[i] == p)
             .count();
     }
-    Ok(correct as f64 / labels.len() as f64)
+    Ok(correct)
 }
 
 #[cfg(test)]

@@ -1,0 +1,154 @@
+//! Thread-count determinism: the parallel execution layer must produce
+//! bit-identical outputs, gradients and training trajectories for any
+//! `CAP_THREADS` setting. These tests run the same computation under
+//! `set_threads(1)` and `set_threads(4)` and compare raw bits.
+
+use cap_nn::layer::{Conv2d, GlobalAvgPool, Linear, Relu};
+use cap_nn::{
+    check_gradients, evaluate, fit, CrossEntropyLoss, Network, Reduction, RegularizerConfig,
+    TrainConfig,
+};
+use cap_tensor::Tensor;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// All tests in this binary mutate the process-global thread target, so
+/// they serialise on one lock.
+fn threads_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape mismatch");
+    for (i, (x, y)) in a.data().iter().zip(b.data().iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+/// Conv forward output, input gradient and weight gradient must not
+/// change a single bit between 1 and 4 threads.
+#[test]
+fn conv_forward_backward_bit_identical_across_thread_counts() {
+    let _guard = threads_lock();
+    let prior = cap_par::threads();
+    // Batch 8 exceeds the 4-thread wave size, so the backward reduce
+    // runs over multiple waves.
+    let x = cap_tensor::randn(&[8, 3, 12, 12], 0.0, 1.0, &mut rng(7));
+    let mut runs = Vec::new();
+    for t in [1usize, 4] {
+        cap_par::set_threads(t);
+        let mut conv = Conv2d::new(3, 24, 3, 1, 1, true, &mut rng(11)).unwrap();
+        let y = conv.forward(&x).unwrap();
+        let g = Tensor::from_fn(y.shape(), |i| ((i as f32) * 0.013).sin());
+        conv.zero_grad();
+        let gin = conv.backward(&g).unwrap();
+        runs.push((y, gin, conv.grad_weight().clone()));
+    }
+    cap_par::set_threads(prior);
+    let (y1, gin1, gw1) = &runs[0];
+    let (y4, gin4, gw4) = &runs[1];
+    assert_bits_eq(y1, y4, "conv forward output");
+    assert_bits_eq(gin1, gin4, "conv input gradient");
+    assert_bits_eq(gw1, gw4, "conv weight gradient");
+}
+
+fn toy_net(seed: u64) -> Network {
+    let mut r = rng(seed);
+    let mut net = Network::new();
+    net.push(Conv2d::new(2, 6, 3, 1, 1, true, &mut r).unwrap());
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(6, 3, &mut r).unwrap());
+    net
+}
+
+/// The analytic gradients must stay correct (vs finite differences) when
+/// the pool is active.
+#[test]
+fn gradcheck_passes_under_the_pool() {
+    let _guard = threads_lock();
+    let prior = cap_par::threads();
+    cap_par::set_threads(4);
+    let mut net = toy_net(42);
+    let x = cap_tensor::randn(&[3, 2, 6, 6], 0.0, 1.0, &mut rng(5));
+    let loss = |logits: &Tensor| {
+        let out = CrossEntropyLoss::new(Reduction::Mean)
+            .forward(logits, &[0, 1, 2])
+            .expect("valid logits");
+        (out.value, out.grad)
+    };
+    let report = check_gradients(&mut net, &x, &loss, 6, 1e-2).unwrap();
+    cap_par::set_threads(prior);
+    assert!(report.checked > 10);
+    assert!(report.passes(2e-2), "{report:?}");
+}
+
+/// A full training run — shuffles, forward, backward, SGD with momentum
+/// — must land on bit-identical weights for any thread count.
+#[test]
+fn fit_produces_bit_identical_weights_across_thread_counts() {
+    let _guard = threads_lock();
+    let prior = cap_par::threads();
+    let n = 24;
+    let images = Tensor::from_fn(&[n, 2, 6, 6], |i| ((i as f32) * 0.0173).sin());
+    let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 8,
+        lr: 0.05,
+        regularizer: RegularizerConfig::none(),
+        ..TrainConfig::default()
+    };
+    let mut weight_snapshots = Vec::new();
+    let mut accs = Vec::new();
+    for t in [1usize, 4] {
+        cap_par::set_threads(t);
+        let mut net = toy_net(9);
+        fit(&mut net, &images, &labels, &cfg).unwrap();
+        let mut params = Vec::new();
+        net.visit_params_mut(&mut |w, _| params.push(w.clone()));
+        weight_snapshots.push(params);
+        accs.push(evaluate(&mut net, &images, &labels, 5).unwrap());
+    }
+    cap_par::set_threads(prior);
+    assert_eq!(weight_snapshots[0].len(), weight_snapshots[1].len());
+    for (i, (a, b)) in weight_snapshots[0]
+        .iter()
+        .zip(weight_snapshots[1].iter())
+        .enumerate()
+    {
+        assert_bits_eq(a, b, &format!("trained parameter {i}"));
+    }
+    assert_eq!(accs[0].to_bits(), accs[1].to_bits(), "evaluate accuracy");
+}
+
+/// Channel surgery is a pure permutation-select; parallel copies must
+/// reproduce the serial result exactly.
+#[test]
+fn retain_channels_bit_identical_across_thread_counts() {
+    let _guard = threads_lock();
+    let prior = cap_par::threads();
+    let keep_out: Vec<usize> = (0..32).step_by(3).collect();
+    let keep_in: Vec<usize> = (0..16).filter(|i| i % 4 != 1).collect();
+    let mut weights = Vec::new();
+    for t in [1usize, 4] {
+        cap_par::set_threads(t);
+        let mut conv = Conv2d::new(16, 32, 3, 1, 1, true, &mut rng(3)).unwrap();
+        conv.retain_output_channels(&keep_out).unwrap();
+        conv.retain_input_channels(&keep_in).unwrap();
+        weights.push(conv.weight().clone());
+    }
+    cap_par::set_threads(prior);
+    assert_bits_eq(&weights[0], &weights[1], "pruned conv weight");
+}

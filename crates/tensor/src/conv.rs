@@ -205,12 +205,31 @@ pub fn col2im(
             expected: "4-D output matching convolution geometry",
         });
     }
+    let per_sample = geom.in_channels * geom.in_h * geom.in_w;
+    let sample = &mut output.data_mut()[n * per_sample..(n + 1) * per_sample];
+    col2im_sample(cols, sample, geom);
+    Ok(())
+}
+
+/// Scatter core of [`col2im`] for a single sample given as a flat
+/// `[in_channels * in_h * in_w]` slice, accumulating into it.
+///
+/// This is the building block the data-parallel convolution backward
+/// uses: each task owns one sample's slice of the input-gradient batch,
+/// so concurrent scatters never alias.
+///
+/// # Panics
+///
+/// Panics in debug builds if `cols` or `sample` disagree with `geom`;
+/// use [`col2im`] for the validated entry point.
+pub fn col2im_sample(cols: &Tensor, sample: &mut [f32], geom: &Conv2dGeometry) {
+    debug_assert_eq!(cols.shape(), &[geom.col_rows(), geom.col_cols()]);
+    debug_assert_eq!(sample.len(), geom.in_channels * geom.in_h * geom.in_w);
     let k = geom.kernel;
     let ncols = geom.col_cols();
     let cols_data = cols.data();
-    let out_data = output.data_mut();
-    let (in_c, in_h, in_w) = (geom.in_channels, geom.in_h, geom.in_w);
-    for c in 0..in_c {
+    let (in_h, in_w) = (geom.in_h, geom.in_w);
+    for c in 0..geom.in_channels {
         for kh in 0..k {
             for kw in 0..k {
                 let row = (c * k + kh) * k + kw;
@@ -220,20 +239,19 @@ pub fn col2im(
                     if ih < 0 || ih >= in_h as isize {
                         continue;
                     }
-                    let out_row_base = ((n * in_c + c) * in_h + ih as usize) * in_w;
+                    let out_row_base = (c * in_h + ih as usize) * in_w;
                     for ow in 0..geom.out_w {
                         let iw = (ow * geom.stride + kw) as isize - geom.padding as isize;
                         if iw < 0 || iw >= in_w as isize {
                             continue;
                         }
-                        out_data[out_row_base + iw as usize] +=
+                        sample[out_row_base + iw as usize] +=
                             cols_data[base + oh * geom.out_w + ow];
                     }
                 }
             }
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]

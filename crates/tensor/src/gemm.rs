@@ -1,0 +1,292 @@
+//! Cache-blocked GEMM shared by the three matmul variants.
+//!
+//! The kernel follows the classic BLIS/GotoBLAS structure: the `n`
+//! dimension is tiled by [`NC`], the `k` dimension by [`KC`] and the `m`
+//! dimension by [`MC`]; operand panels are packed into contiguous
+//! [`MR`]×`kc` / `kc`×[`NR`] strips and multiplied by a register-blocked
+//! [`MR`]×[`NR`] microkernel. Transposed operands are handled by the
+//! stride description in [`MatRef`], so no transpose is materialised.
+//!
+//! # Parallelism and determinism
+//!
+//! Output rows are distributed across the `cap-par` pool in blocks of
+//! [`MC`]. Every output element is owned by exactly one task, and its
+//! accumulation order — ascending `pc` blocks of the fixed size [`KC`],
+//! each summed in ascending `p` order inside the microkernel — depends
+//! only on the shape, never on the thread count. Results are therefore
+//! bitwise identical for any `CAP_THREADS` setting.
+
+use std::cell::RefCell;
+
+/// Microkernel row count (register block in `m`).
+pub(crate) const MR: usize = 4;
+/// Microkernel column count (register block in `n`).
+pub(crate) const NR: usize = 8;
+/// `k`-dimension cache block. Fixed (never adapted to thread count or
+/// shape) because it determines the floating-point summation grouping.
+pub(crate) const KC: usize = 256;
+/// `m`-dimension cache block; also the row granularity of parallel tasks.
+pub(crate) const MC: usize = 64;
+/// `n`-dimension cache block.
+pub(crate) const NC: usize = 512;
+
+/// Below this many flops (`2·m·n·k`) the dispatch overhead of the pool
+/// outweighs the work and the kernel stays on the calling thread.
+const PARALLEL_FLOP_THRESHOLD: usize = 1 << 17;
+
+/// A borrowed matrix of logical shape `rows × cols` with arbitrary
+/// strides, letting one kernel serve `A`, `Aᵀ`, `B` and `Bᵀ` without
+/// copying.
+#[derive(Clone, Copy)]
+pub(crate) struct MatRef<'a> {
+    data: &'a [f32],
+    row_stride: usize,
+    col_stride: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// A row-major `rows × cols` matrix.
+    pub(crate) fn row_major(data: &'a [f32], cols: usize) -> Self {
+        MatRef {
+            data,
+            row_stride: cols,
+            col_stride: 1,
+        }
+    }
+
+    /// The transpose of a row-major `cols × rows` matrix, viewed as
+    /// `rows × cols` without copying.
+    pub(crate) fn transposed(data: &'a [f32], rows: usize) -> Self {
+        MatRef {
+            data,
+            row_stride: 1,
+            col_stride: rows,
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.row_stride + c * self.col_stride]
+    }
+}
+
+thread_local! {
+    /// Per-thread packing buffers (packed A strip, packed B panel) so
+    /// concurrent row-block tasks never share scratch memory.
+    static PACK_BUFFERS: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Computes `out = A · B` where `A` is logically `m × k`, `B` is `k × n`
+/// and `out` is a zeroed row-major `m × n` buffer.
+pub(crate) fn gemm(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        return; // out is already zero
+    }
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    if flops < PARALLEL_FLOP_THRESHOLD || cap_par::effective_parallelism() == 1 {
+        gemm_rows(0, m, n, k, a, b, out);
+        return;
+    }
+    // Row blocks of MC are the parallel grain; chunk boundaries depend
+    // only on (m, n), and each task owns its output rows exclusively.
+    cap_par::parallel_chunks_mut(out, MC * n, |block_idx, chunk| {
+        let row0 = block_idx * MC;
+        let rows = chunk.len() / n;
+        gemm_rows(row0, rows, n, k, a, b, chunk);
+    });
+}
+
+/// Serial blocked kernel for output rows `row0 .. row0 + rows`; `out` is
+/// the row-major `rows × n` slice for exactly those rows.
+fn gemm_rows(
+    row0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+) {
+    PACK_BUFFERS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let (pa, pb) = &mut *bufs;
+        pa.resize(MC.div_ceil(MR) * MR * KC, 0.0);
+        pb.resize(NC.div_ceil(NR) * NR * KC, 0.0);
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                pack_b(b, pc, kc, jc, nc, pb);
+                for ic in (0..rows).step_by(MC) {
+                    let mc = MC.min(rows - ic);
+                    pack_a(a, row0 + ic, mc, pc, kc, pa);
+                    macro_kernel(mc, nc, kc, pa, pb, &mut out[ic * n..], n, jc);
+                }
+            }
+        }
+    });
+}
+
+/// Packs `A[row0 .. row0+mc, pc .. pc+kc]` into MR-row strips laid out
+/// `p`-major (`strip · kc · MR + p · MR + r`), zero-padding the ragged
+/// final strip so the microkernel never branches on row validity.
+fn pack_a(a: MatRef<'_>, row0: usize, mc: usize, pc: usize, kc: usize, pa: &mut [f32]) {
+    for (strip, ir) in (0..mc).step_by(MR).enumerate() {
+        let mr = MR.min(mc - ir);
+        let dst = &mut pa[strip * kc * MR..(strip + 1) * kc * MR];
+        for p in 0..kc {
+            let d = &mut dst[p * MR..p * MR + MR];
+            for (r, slot) in d.iter_mut().enumerate() {
+                *slot = if r < mr {
+                    a.at(row0 + ir + r, pc + p)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs `B[pc .. pc+kc, jc .. jc+nc]` into NR-column strips laid out
+/// `p`-major (`strip · kc · NR + p · NR + c`), zero-padding the ragged
+/// final strip.
+fn pack_b(b: MatRef<'_>, pc: usize, kc: usize, jc: usize, nc: usize, pb: &mut [f32]) {
+    for (strip, jr) in (0..nc).step_by(NR).enumerate() {
+        let nr = NR.min(nc - jr);
+        let dst = &mut pb[strip * kc * NR..(strip + 1) * kc * NR];
+        for p in 0..kc {
+            let d = &mut dst[p * NR..p * NR + NR];
+            for (c, slot) in d.iter_mut().enumerate() {
+                *slot = if c < nr {
+                    b.at(pc + p, jc + jr + c)
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Runs the microkernel over every MR×NR tile of an `mc × nc` block,
+/// accumulating into `out` (row-major with leading dimension `n`,
+/// columns offset by `jc`).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    pa: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    n: usize,
+    jc: usize,
+) {
+    for (bstrip, jr) in (0..nc).step_by(NR).enumerate() {
+        let nr = NR.min(nc - jr);
+        let pbs = &pb[bstrip * kc * NR..(bstrip + 1) * kc * NR];
+        for (astrip, ir) in (0..mc).step_by(MR).enumerate() {
+            let mr = MR.min(mc - ir);
+            let pas = &pa[astrip * kc * MR..(astrip + 1) * kc * MR];
+            let acc = micro_kernel(kc, pas, pbs);
+            for (r, acc_row) in acc.iter().enumerate().take(mr) {
+                let orow = &mut out[(ir + r) * n + jc + jr..][..nr];
+                for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
+                    *o += v;
+                }
+            }
+        }
+    }
+}
+
+/// MR×NR register-blocked inner kernel: a rank-`kc` update accumulated
+/// in ascending `p` order into a fixed-size accumulator the compiler
+/// keeps in registers / vector lanes.
+#[inline]
+fn micro_kernel(kc: usize, pa: &[f32], pb: &[f32]) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for p in 0..kc {
+        let av = &pa[p * MR..p * MR + MR];
+        let bv = &pb[p * NR..p * NR + NR];
+        for r in 0..MR {
+            let a = av[r];
+            for c in 0..NR {
+                acc[r][c] += a * bv[c];
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += f64::from(a[i * k + p]) * f64::from(b[p * n + j]);
+                }
+            }
+        }
+        out.into_iter().map(|v| v as f32).collect()
+    }
+
+    fn fill(len: usize, seed: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32) * seed).sin()).collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_on_edge_shapes() {
+        // Shapes straddling every blocking boundary: sub-tile, ragged
+        // tiles, and k > KC so multiple pc blocks accumulate.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (3, 7, 5),
+            (MR, NR, 4),
+            (MR + 1, NR + 3, KC + 17),
+            (MC + 5, NR, 33),
+            (65, 130, 300),
+        ] {
+            let a = fill(m * k, 0.137);
+            let b = fill(k * n, 0.291);
+            let mut out = vec![0.0f32; m * n];
+            gemm(
+                m,
+                n,
+                k,
+                MatRef::row_major(&a, k),
+                MatRef::row_major(&b, n),
+                &mut out,
+            );
+            let want = reference(m, n, k, &a, &b);
+            for (i, (&got, &expect)) in out.iter().zip(want.iter()).enumerate() {
+                let tol = 1e-4 * (1.0 + expect.abs());
+                assert!(
+                    (got - expect).abs() < tol,
+                    "({m},{n},{k}) element {i}: {got} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_views_index_correctly() {
+        let m = 5;
+        let k = 9;
+        // data stores the k×m transpose; the view must read A[i][p].
+        let data = fill(k * m, 0.41);
+        let view = MatRef::transposed(&data, m);
+        for i in 0..m {
+            for p in 0..k {
+                assert_eq!(view.at(i, p), data[p * m + i]);
+            }
+        }
+    }
+}

@@ -28,15 +28,18 @@
 
 mod conv;
 mod error;
+mod gemm;
 mod init;
 mod matmul;
 mod reduce;
 mod tensor;
 pub mod toeplitz;
 
-pub use conv::{col2im, conv_output_size, im2col, Conv2dGeometry};
+pub use conv::{col2im, col2im_sample, conv_output_size, im2col, Conv2dGeometry};
 pub use error::TensorError;
 pub use init::{kaiming_normal, randn, uniform};
-pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b, transpose2d};
+pub use matmul::{
+    matmul, matmul_sparse_aware, matmul_transpose_a, matmul_transpose_b, transpose2d,
+};
 pub use reduce::{argmax_rows, max_all, mean_all, softmax_rows, sum_all};
 pub use tensor::Tensor;

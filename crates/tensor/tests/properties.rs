@@ -35,6 +35,38 @@ proptest! {
     }
 
     #[test]
+    fn blocked_matmul_matches_naive_reference(
+        m in 1usize..80,
+        k in 1usize..90,
+        n in 1usize..80,
+        seed in 0u64..1000,
+    ) {
+        // Shapes intentionally straddle the MR=4 / NR=8 / MC=64 tile
+        // boundaries so ragged edge tiles and the parallel row split are
+        // both exercised against a plain triple loop in f64.
+        let a = Tensor::from_fn(&[m, k], |i| {
+            ((((i as u64).wrapping_mul(seed + 13)) % 29) as f32 - 14.0) * 0.1
+        });
+        let b = Tensor::from_fn(&[k, n], |i| {
+            ((((i as u64).wrapping_mul(seed + 17)) % 31) as f32 - 15.0) * 0.1
+        });
+        let fast = matmul(&a, &b).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f64;
+                for p in 0..k {
+                    acc += f64::from(a.at2(i, p)) * f64::from(b.at2(p, j));
+                }
+                let got = f64::from(fast.at2(i, j));
+                prop_assert!(
+                    (got - acc).abs() < 1e-3 * (1.0 + acc.abs()),
+                    "({m},{n},{k}) at ({i},{j}): {got} vs {acc}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn transpose_is_involution(a in small_matrix(8)) {
         let tt = transpose2d(&transpose2d(&a).unwrap()).unwrap();
         prop_assert_eq!(a, tt);

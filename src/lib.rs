@@ -5,7 +5,7 @@
 //!
 //! See the individual crates for detail:
 //! [`cap_tensor`], [`cap_nn`], [`cap_data`], [`cap_models`], [`cap_core`],
-//! [`cap_baselines`], [`cap_obs`].
+//! [`cap_baselines`], [`cap_obs`], [`cap_par`].
 
 pub use cap_baselines as baselines;
 pub use cap_core as core;
@@ -13,4 +13,5 @@ pub use cap_data as data;
 pub use cap_models as models;
 pub use cap_nn as nn;
 pub use cap_obs as obs;
+pub use cap_par as par;
 pub use cap_tensor as tensor;
