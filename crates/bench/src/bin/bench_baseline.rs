@@ -5,7 +5,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH]
+//! bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH] [--obs-out PATH]
 //! ```
 //!
 //! `--smoke` shrinks every workload for CI; `--threads` picks the
@@ -15,6 +15,12 @@
 //! Thread counts are applied with `cap_par::set_threads`, so one process
 //! measures both points; the determinism contract guarantees the outputs
 //! are bit-identical either way, making the comparison pure timing.
+//!
+//! After the kernel benches, an observability section writes
+//! `BENCH_obs.json` (`--obs-out` overrides): span/counter overhead with
+//! telemetry disabled, enabled, and with the flight recorder on, plus
+//! `/metrics` scrape latency while a smoke training loop runs. Kernel
+//! timings always run first, before any telemetry is switched on.
 
 use cap_core::{evaluate_scores, find_prunable_sites, ClassAwarePruner, PruneConfig, ScoreConfig};
 use cap_data::{DatasetSpec, SyntheticDataset};
@@ -32,6 +38,7 @@ struct Options {
     threads: usize,
     mm_dim: Option<usize>,
     out: String,
+    obs_out: String,
 }
 
 fn parse_args() -> Options {
@@ -40,6 +47,7 @@ fn parse_args() -> Options {
         threads: 4,
         mm_dim: None,
         out: "BENCH_kernels.json".to_string(),
+        obs_out: "BENCH_obs.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,10 +80,16 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--obs-out" => {
+                opts.obs_out = args.next().unwrap_or_else(|| {
+                    eprintln!("--obs-out expects a path");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH]"
+                    "usage: bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH] [--obs-out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -375,7 +389,136 @@ fn write_json(opts: &Options, thread_points: &[usize], records: &[Record]) -> St
     out
 }
 
+/// One observability-overhead measurement.
+struct ObsRecord {
+    op: &'static str,
+    mode: &'static str,
+    ns_per_iter: f64,
+}
+
+/// Times the telemetry layer itself: the disabled fast path the hot
+/// loops always pay, the enabled path, and the enabled path with the
+/// flight recorder on; then `/metrics` scrape latency while a smoke
+/// training loop runs. Toggles global obs state, so it must run after
+/// every kernel measurement.
+fn run_obs_benches(opts: &Options) -> (Vec<ObsRecord>, f64, f64, usize) {
+    let budget = Duration::from_millis(if opts.smoke { 30 } else { 200 });
+    let max_iters = 2_000_000;
+    let mut records = Vec::new();
+    let mut bench = |op: &'static str, mode: &'static str, f: &mut dyn FnMut()| {
+        records.push(ObsRecord {
+            op,
+            mode,
+            ns_per_iter: measure(f, budget, max_iters),
+        });
+    };
+
+    // Empty closure first: the dispatch + loop floor of this harness,
+    // to subtract from everything below.
+    bench("empty", "harness_floor", &mut || {
+        black_box(0u64);
+    });
+
+    cap_obs::disable();
+    bench("span", "disabled", &mut || {
+        let _s = cap_obs::span!("bench.obs.span");
+        black_box(&_s);
+    });
+    bench("counter_add", "disabled", &mut || {
+        cap_obs::counter_add("bench.obs.counter", 1);
+    });
+
+    cap_obs::enable();
+    bench("span", "enabled", &mut || {
+        let _s = cap_obs::span!("bench.obs.span");
+        black_box(&_s);
+    });
+    bench("counter_add", "enabled", &mut || {
+        cap_obs::counter_add("bench.obs.counter", 1);
+    });
+
+    cap_obs::flight::enable();
+    bench("span", "enabled+flight", &mut || {
+        let _s = cap_obs::span!("bench.obs.span");
+        black_box(&_s);
+    });
+
+    // Scrape latency under load: serve on an ephemeral port while a
+    // smoke-size training loop keeps the process busy, then time
+    // repeated GET /metrics round-trips.
+    let addr = cap_obs::serve::start_global("127.0.0.1:0").expect("bind metrics server");
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let trainer = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (mut net, data, _) = scoring_setup(true);
+            let cfg = TrainConfig {
+                epochs: 1,
+                batch_size: 4,
+                ..TrainConfig::default()
+            };
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                cap_nn::fit(&mut net, data.train().images(), data.train().labels(), &cfg)
+                    .expect("smoke fit");
+            }
+        })
+    };
+    let scrapes = if opts.smoke { 10 } else { 50 };
+    let mut total_ns = 0.0f64;
+    let mut max_ns = 0.0f64;
+    let mut body_len = 0usize;
+    for _ in 0..scrapes {
+        let t = Instant::now();
+        let body = cap_obs::serve::http_get(addr, "/metrics").expect("scrape /metrics");
+        let ns = t.elapsed().as_nanos() as f64;
+        total_ns += ns;
+        max_ns = max_ns.max(ns);
+        body_len = body.len();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    trainer.join().expect("trainer thread");
+    cap_obs::serve::stop_global();
+    cap_obs::flight::disable();
+    cap_obs::disable();
+    (records, total_ns / scrapes as f64, max_ns, body_len)
+}
+
+fn write_obs_json(
+    opts: &Options,
+    records: &[ObsRecord],
+    scrape_mean_ns: f64,
+    scrape_max_ns: f64,
+    scrape_bytes: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"smoke\": ");
+    out.push_str(if opts.smoke { "true" } else { "false" });
+    out.push_str(",\n  \"overhead\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\"op\": ");
+        write_str(&mut out, r.op);
+        out.push_str(", \"mode\": ");
+        write_str(&mut out, r.mode);
+        out.push_str(", \"ns_per_iter\": ");
+        write_f64(&mut out, r.ns_per_iter);
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"metrics_scrape\": {\"mean_ns\": ");
+    write_f64(&mut out, scrape_mean_ns);
+    out.push_str(", \"max_ns\": ");
+    write_f64(&mut out, scrape_max_ns);
+    out.push_str(", \"body_bytes\": ");
+    out.push_str(&scrape_bytes.to_string());
+    out.push_str("}\n}\n");
+    out
+}
+
 fn main() {
+    cap_bench::init_trace_quiet();
     let opts = parse_args();
     let thread_points: Vec<usize> = if opts.threads == 1 {
         vec![1]
@@ -395,4 +538,24 @@ fn main() {
         );
     }
     println!("wrote {}", opts.out);
+
+    let (obs_records, scrape_mean, scrape_max, scrape_bytes) = run_obs_benches(&opts);
+    let obs_json = write_obs_json(&opts, &obs_records, scrape_mean, scrape_max, scrape_bytes);
+    std::fs::write(&opts.obs_out, &obs_json).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", opts.obs_out);
+        std::process::exit(1);
+    });
+    for r in &obs_records {
+        println!(
+            "obs {:<14} {:<16} {:>10.1} ns/iter",
+            r.op, r.mode, r.ns_per_iter
+        );
+    }
+    println!(
+        "obs metrics_scrape mean {:.1} µs, max {:.1} µs, {} bytes",
+        scrape_mean / 1e3,
+        scrape_max / 1e3,
+        scrape_bytes
+    );
+    println!("wrote {}", opts.obs_out);
 }

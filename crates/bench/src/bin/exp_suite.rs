@@ -347,6 +347,10 @@ fn main() -> Result<()> {
     cap_obs::emit(
         cap_obs::Event::new("suite_done").f64("elapsed_secs", t0.elapsed().as_secs_f64()),
     );
+    // With CAP_METRICS_ADDR set this self-scrapes /metrics (validating
+    // the exposition) and honours CAP_FLIGHT_DUMP; CI fails the run on
+    // a broken scrape or dump.
+    cap_bench::finalize_telemetry().map_err(|e| format!("telemetry finalisation failed: {e}"))?;
     cap_obs::flush();
     Ok(())
 }

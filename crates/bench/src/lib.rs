@@ -32,4 +32,4 @@ pub use render::{
 };
 pub use scale::ExperimentScale;
 pub use setup::{build_dataset, build_model, pretrain, pretrain_cached, Arch, DataKind, Prepared};
-pub use trace::init_trace;
+pub use trace::{finalize_telemetry, init_trace, init_trace_quiet};

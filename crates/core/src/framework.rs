@@ -241,6 +241,9 @@ impl ClassAwarePruner {
         let mut stop_reason = StopReason::MaxIterations;
         for iteration in 1..=cfg.max_iterations {
             let _iter_span = cap_obs::span!("core.prune.iteration");
+            // Live gauge: a mid-run /metrics scrape shows which pruning
+            // iteration is underway.
+            cap_obs::gauge_set("core.prune.iteration", iteration as f64);
 
             let t_score = std::time::Instant::now();
             let (sites, scores, selection) = {
@@ -314,6 +317,8 @@ impl ClassAwarePruner {
             cap_obs::counter_add("core.filters_removed_total", record.removed_filters as u64);
             cap_obs::gauge_set("core.flops", record.flops as f64);
             cap_obs::gauge_set("core.params", record.params as f64);
+            cap_obs::gauge_set("core.accuracy", record.accuracy_after_finetune);
+            cap_obs::gauge_set("core.remaining_filters", record.remaining_filters as f64);
             iterations.push(record);
             if baseline_accuracy - accuracy_after_finetune > cfg.accuracy_drop_limit {
                 *net = snapshot;

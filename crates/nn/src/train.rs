@@ -153,6 +153,12 @@ pub fn fit(
             elapsed_secs: epoch_start.elapsed().as_secs_f64(),
         };
         cap_obs::counter_add("nn.epochs_total", 1);
+        // Live gauges: a /metrics scrape mid-run sees the most recent
+        // epoch's position and quality without waiting for events.
+        cap_obs::gauge_set("nn.fit.epoch", epoch as f64);
+        cap_obs::gauge_set("nn.fit.loss", stats.loss);
+        cap_obs::gauge_set("nn.fit.accuracy", stats.accuracy);
+        cap_obs::gauge_set("nn.fit.lr", stats.lr);
         cap_obs::emit(
             cap_obs::Event::new("epoch")
                 .u64("epoch", epoch as u64)

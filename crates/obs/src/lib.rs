@@ -55,8 +55,11 @@
 //! Span names follow `crate.component.op` (see DESIGN.md §7), e.g.
 //! `tensor.matmul`, `nn.conv2d.forward`, `core.prune.finetune`.
 
+pub mod expo;
+pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod serve;
 pub mod sink;
 
 mod event;
@@ -67,6 +70,7 @@ pub use metrics::{Histogram, Metric, Registry};
 pub use sink::Sink;
 pub use span::{span_report, SpanGuard};
 
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
@@ -128,6 +132,21 @@ pub fn uptime_secs() -> f64 {
         .unwrap_or(0.0)
 }
 
+/// Microseconds between observability start and `t` (0.0 before
+/// [`enable`] or for instants predating it). Used to place flight
+/// recorder records on the same clock as [`Event::t`].
+pub(crate) fn instant_offset_us(t: Instant) -> f64 {
+    START
+        .get()
+        .map(|s| {
+            t.checked_duration_since(*s)
+                .unwrap_or_default()
+                .as_secs_f64()
+                * 1e6
+        })
+        .unwrap_or(0.0)
+}
+
 /// The process-global metrics registry.
 pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::new)
@@ -168,6 +187,9 @@ pub fn emit(event: Event) {
     if !enabled() {
         return;
     }
+    if flight::enabled() {
+        flight::record_instant(event.kind, event.t);
+    }
     if let Some(sink) = sink_slot().lock().unwrap().as_ref() {
         sink.emit(&event);
     }
@@ -195,6 +217,10 @@ pub fn histogram_record(name: &str, v: f64) {
 }
 
 /// Renders every metric plus the span tree as a human-readable report.
+///
+/// Metrics appear in sorted-name order with one fixed float format
+/// ([`expo::fmt_value`]), so two reports over the same registry state —
+/// and a report vs a `/metrics` scrape — diff cleanly.
 pub fn report() -> String {
     let mut out = String::new();
     let spans = span_report();
@@ -212,25 +238,29 @@ pub fn report() -> String {
         }
         match metric {
             Metric::Counter(c) => out.push_str(&format!("{name:<40} {c}\n")),
-            Metric::Gauge(g) => out.push_str(&format!("{name:<40} {g}\n")),
+            Metric::Gauge(g) => {
+                out.push_str(&format!("{name:<40} {}\n", expo::fmt_value(g)));
+            }
             Metric::Histogram(h) => out.push_str(&format!(
-                "{name:<40} n={} mean={:.3} p50={:.3} p95={:.3} max={:.3}\n",
+                "{name:<40} n={} mean={} p50={} p95={} max={}\n",
                 h.count(),
-                h.mean(),
-                h.p50(),
-                h.p95(),
-                h.max()
+                expo::fmt_value(h.mean()),
+                expo::fmt_value(h.p50()),
+                expo::fmt_value(h.p95()),
+                expo::fmt_value(h.max())
             )),
         }
     }
     out
 }
 
-/// Clears the registry and removes the sink. Leaves the enable flags
-/// untouched; meant for test isolation together with [`test_lock`].
+/// Clears the registry, the flight recorder rings, and removes the
+/// sink. Leaves the enable flags untouched; meant for test isolation
+/// together with [`test_lock`].
 pub fn reset() {
     registry().reset();
     clear_sink();
+    flight::clear();
     set_detail(false);
 }
 
@@ -285,6 +315,42 @@ pub fn init_from_env() -> Result<bool, String> {
         Ok(spec) if !spec.is_empty() => init_from_spec(&spec).map(|()| true),
         _ => Ok(false),
     }
+}
+
+/// What [`init_telemetry`] switched on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Whether an event sink was installed (via the CLI spec or
+    /// `CAP_TRACE`).
+    pub tracing: bool,
+    /// Address of the live telemetry server, when `CAP_METRICS_ADDR`
+    /// started one.
+    pub serving: Option<SocketAddr>,
+}
+
+/// One-call telemetry setup shared by every binary in the workspace
+/// (`capctl` and all `cap-bench` bins route through this), so
+/// `CAP_TRACE` and `CAP_METRICS_ADDR` behave identically everywhere:
+///
+/// 1. installs the event sink from `cli_trace` (a `--trace` argument)
+///    when given, else from `CAP_TRACE`;
+/// 2. when `CAP_METRICS_ADDR` is set (e.g. `127.0.0.1:9184`), starts
+///    the process-global [`serve`] server there — which also enables
+///    instrumentation and the [`flight`] recorder.
+///
+/// # Errors
+///
+/// Propagates [`init_from_spec`] errors and server bind failures.
+pub fn init_telemetry(cli_trace: Option<&str>) -> Result<Telemetry, String> {
+    let tracing = match cli_trace {
+        Some(spec) => init_from_spec(spec).map(|()| true)?,
+        None => init_from_env()?,
+    };
+    let serving = match std::env::var("CAP_METRICS_ADDR") {
+        Ok(addr) if !addr.is_empty() => Some(serve::start_global(&addr)?),
+        _ => None,
+    };
+    Ok(Telemetry { tracing, serving })
 }
 
 #[cfg(test)]
@@ -347,6 +413,68 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("\"ping\""));
         let _ = std::fs::remove_file(&path);
+        disable();
+        reset();
+    }
+
+    /// Pins the stable-output contract: metrics render in sorted-name
+    /// order with the fixed float format, in both the text report and
+    /// the Prometheus exposition.
+    #[test]
+    fn report_and_exposition_are_sorted_with_fixed_floats() {
+        let _guard = test_lock();
+        reset();
+        enable();
+        // Insert deliberately out of order.
+        gauge_set("zeta.gauge", 1.25);
+        counter_add("alpha.count", 7);
+        histogram_record("mid.hist", 3.0);
+        gauge_set("beta.gauge", 2.0);
+
+        let text = report();
+        let metric_names: Vec<&str> = text
+            .lines()
+            .skip(1) // header
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(
+            metric_names,
+            vec!["alpha.count", "beta.gauge", "mid.hist", "zeta.gauge"],
+            "{text}"
+        );
+        assert!(text.contains("beta.gauge"), "{text}");
+        assert!(text.contains("2.000000"), "{text}");
+        assert!(text.contains("zeta.gauge"), "{text}");
+        assert!(text.contains("1.250000"), "{text}");
+
+        let body = expo::render(registry());
+        expo::validate(&body).unwrap();
+        let families: Vec<&str> = body
+            .lines()
+            .filter(|l| l.starts_with("# TYPE "))
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        assert_eq!(
+            families,
+            vec![
+                "cap_obs_uptime_seconds",
+                "cap_alpha_count",
+                "cap_beta_gauge",
+                "cap_mid_hist",
+                "cap_zeta_gauge",
+            ],
+            "{body}"
+        );
+        assert!(body.contains("cap_beta_gauge 2.000000\n"), "{body}");
+        // Two scrapes of an unchanged registry are byte-identical
+        // modulo the uptime gauge line.
+        let strip = |s: &str| -> String {
+            s.lines()
+                .filter(|l| !l.contains("cap_obs_uptime_seconds"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&body), strip(&expo::render(registry())));
         disable();
         reset();
     }

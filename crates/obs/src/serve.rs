@@ -1,0 +1,342 @@
+//! A minimal `std::net` HTTP/1.1 server exposing live telemetry.
+//!
+//! Zero-dependency like the rest of the crate: one accept-loop thread
+//! (`cap-obs-serve`), connections handled inline, four read-only routes:
+//!
+//! | Route | Content | Format |
+//! |---|---|---|
+//! | `/metrics` | the [`crate::Registry`] | Prometheus text exposition ([`crate::expo`]) |
+//! | `/healthz` | liveness | `ok` |
+//! | `/report` | uptime + metrics + span tree | JSON (hand-rolled writer) |
+//! | `/trace` | the flight recorder | chrome://tracing trace-event JSON |
+//!
+//! The server only *reads* shared state, so leaving it running cannot
+//! affect workload results — the determinism contract of `cap-par`
+//! holds with the server enabled (pinned by the
+//! `telemetry_integration` workspace test).
+//!
+//! Start it per-process from the `CAP_METRICS_ADDR` environment
+//! variable via [`crate::init_telemetry`], or explicitly:
+//!
+//! ```
+//! let _obs = cap_obs::test_lock();
+//! let server = cap_obs::serve::Server::start("127.0.0.1:0").unwrap();
+//! let addr = server.addr(); // scrape http://{addr}/metrics
+//! server.stop();
+//! ```
+
+use crate::json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Upper bound on request bytes we read (request line + headers).
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A running telemetry server. Dropping (or calling [`Server::stop`])
+/// shuts the accept loop down and joins its thread.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, port `0` for ephemeral) and
+    /// starts serving. Also flips the master obs gate on — a metrics
+    /// server over a disabled registry would only ever serve emptiness.
+    ///
+    /// # Errors
+    ///
+    /// Returns the formatted I/O error when the address cannot be bound.
+    pub fn start(addr: &str) -> Result<Server, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        crate::enable();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let handle = std::thread::Builder::new()
+            .name("cap-obs-serve".to_string())
+            .spawn(move || accept_loop(&listener, &flag))
+            .map_err(|e| format!("spawn cap-obs-serve: {e}"))?;
+        Ok(Server {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shuts the accept loop down and joins it.
+    pub fn stop(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the (blocking) accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shutdown: &AtomicBool) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // A stuck client must not wedge the telemetry loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+        handle_connection(stream);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of the request head; body-less GETs only.
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = route(method, path);
+    crate::counter_add("obs.http_requests_total", 1);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        );
+    }
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::expo::render(crate::registry()),
+        ),
+        "/healthz" => ("200 OK", "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/report" => ("200 OK", "application/json; charset=utf-8", report_json()),
+        "/trace" => (
+            "200 OK",
+            "application/json; charset=utf-8",
+            crate::flight::export_chrome_trace(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "routes: /metrics /healthz /report /trace\n".to_string(),
+        ),
+    }
+}
+
+/// The `/report` body: uptime, every metric (sorted-name order, same
+/// fixed float policy as the text report), and the rendered span tree.
+fn report_json() -> String {
+    use crate::metrics::Metric;
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"uptime_secs\":");
+    json::write_f64(&mut out, (crate::uptime_secs() * 1e6).round() / 1e6);
+    out.push_str(",\"metrics\":[");
+    let mut first = true;
+    for (name, metric) in crate::registry().snapshot() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":");
+        json::write_str(&mut out, &name);
+        match metric {
+            Metric::Counter(c) => {
+                out.push_str(",\"kind\":\"counter\",\"value\":");
+                out.push_str(&c.to_string());
+            }
+            Metric::Gauge(g) => {
+                out.push_str(",\"kind\":\"gauge\",\"value\":");
+                json::write_f64(&mut out, g);
+            }
+            Metric::Histogram(h) => {
+                out.push_str(",\"kind\":\"histogram\",\"count\":");
+                out.push_str(&h.count().to_string());
+                out.push_str(",\"sum\":");
+                json::write_f64(&mut out, h.sum());
+                out.push_str(",\"mean\":");
+                json::write_f64(&mut out, h.mean());
+                out.push_str(",\"p50\":");
+                json::write_f64(&mut out, h.p50());
+                out.push_str(",\"p95\":");
+                json::write_f64(&mut out, h.p95());
+                out.push_str(",\"max\":");
+                json::write_f64(&mut out, h.max());
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("],\"span_report\":");
+    json::write_str(&mut out, &crate::span_report());
+    out.push_str("}\n");
+    out
+}
+
+fn global_slot() -> &'static Mutex<Option<Server>> {
+    static GLOBAL: OnceLock<Mutex<Option<Server>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(None))
+}
+
+/// Starts the process-global server (used by `CAP_METRICS_ADDR` /
+/// `--serve-metrics`) and enables the flight recorder so `/trace` has
+/// something to show. Replaces any previous global server.
+///
+/// # Errors
+///
+/// Propagates [`Server::start`] errors.
+pub fn start_global(addr: &str) -> Result<SocketAddr, String> {
+    let server = Server::start(addr)?;
+    crate::flight::enable();
+    let bound = server.addr();
+    let mut slot = global_slot().lock().unwrap();
+    if let Some(old) = slot.take() {
+        old.stop();
+    }
+    *slot = Some(server);
+    Ok(bound)
+}
+
+/// Address of the running global server, if any.
+pub fn global_addr() -> Option<SocketAddr> {
+    global_slot().lock().unwrap().as_ref().map(Server::addr)
+}
+
+/// Stops the global server (no-op when none is running).
+pub fn stop_global() {
+    if let Some(server) = global_slot().lock().unwrap().take() {
+        server.stop();
+    }
+}
+
+/// Performs one blocking HTTP GET against `addr` and returns the
+/// response body. This is the client the integration tests, the
+/// self-scrape in `exp_suite`, and `bench_baseline` use; it speaks just
+/// enough HTTP/1.1 for our own server.
+///
+/// # Errors
+///
+/// Returns a description of connect/read failures or a non-200 status.
+pub fn http_get(addr: SocketAddr, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("write request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response: {response:?}"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains("200") {
+        return Err(format!("GET {path}: {status_line}"));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_reports_bound_addr_and_stops_cleanly() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        let server = Server::start("127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0);
+        let body = http_get(addr, "/healthz").unwrap();
+        assert_eq!(body, "ok\n");
+        server.stop();
+        // The port is released: a fresh bind on it succeeds (best
+        // effort — other processes may race us, so only check errors
+        // from our own server are gone).
+        assert!(http_get(addr, "/healthz").is_err());
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_rejected() {
+        let (status, _, _) = route("GET", "/nope");
+        assert!(status.starts_with("404"));
+        let (status, _, _) = route("POST", "/metrics");
+        assert!(status.starts_with("405"));
+        let (status, _, _) = route("GET", "/metrics?x=1");
+        assert!(status.starts_with("200"));
+    }
+
+    #[test]
+    fn report_json_is_parseable() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        crate::enable();
+        crate::counter_add("demo.count", 2);
+        crate::histogram_record("demo.hist", 4.0);
+        {
+            let _span = crate::SpanGuard::enter("demo_span");
+        }
+        let body = report_json();
+        let parsed = json::parse(body.trim()).unwrap();
+        assert!(parsed.get("uptime_secs").unwrap().as_f64().unwrap() >= 0.0);
+        let json::Json::Arr(metrics) = parsed.get("metrics").unwrap() else {
+            panic!("metrics must be an array");
+        };
+        assert!(metrics.len() >= 3, "{body}");
+        assert!(parsed.get("span_report").unwrap().as_str().is_some());
+        crate::disable();
+        crate::reset();
+    }
+}

@@ -1,0 +1,89 @@
+//! Round-trip property test for the hand-rolled JSON layer:
+//! `render → parse → render` is a fixpoint for arbitrary values
+//! (including NaN/±Inf numbers, which the writer canonicalises to
+//! `null`, and strings exercising every escape class).
+
+use cap_obs::json::{parse, Json};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Characters spanning every branch of the string escaper: plain ASCII,
+/// the two mandatory escapes, the short escapes, other control chars
+/// (forced into `\u00xx` form), and multi-byte scalars.
+const CHAR_POOL: &[char] = &[
+    'a', 'Z', '0', ' ', '/', ':', '{', '[', '"', '\\', '\n', '\r', '\t', '\u{08}', '\u{0c}',
+    '\u{01}', '\u{1f}', 'é', '漢', '🦀',
+];
+
+fn gen_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0usize..12);
+    (0..len)
+        .map(|_| CHAR_POOL[rng.gen_range(0..CHAR_POOL.len())])
+        .collect()
+}
+
+fn gen_num(rng: &mut StdRng) -> f64 {
+    match rng.gen_range(0u32..6) {
+        0 => rng.gen_range(-1_000_000i64..1_000_000) as f64,
+        1 => rng.gen_range(-1.0f64..1.0),
+        2 => rng.gen_range(-1.0f64..1.0) * 1e300,
+        3 => rng.gen_range(-1.0f64..1.0) * 1e-300,
+        // Arbitrary bit patterns: subnormals, NaNs and infinities
+        // included — the writer must canonicalise non-finite to null.
+        4 => f64::from_bits(rng.gen_range(0u64..=u64::MAX)),
+        _ => 0.0,
+    }
+}
+
+fn gen_json(rng: &mut StdRng, depth: u32) -> Json {
+    // Leaves only below depth 3 so documents stay small.
+    let kinds = if depth >= 3 { 4 } else { 6 };
+    match rng.gen_range(0..kinds) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_range(0u32..2) == 1),
+        2 => Json::Num(gen_num(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => Json::Arr(
+            (0..rng.gen_range(0usize..5))
+                .map(|_| gen_json(rng, depth + 1))
+                .collect(),
+        ),
+        _ => Json::Obj(
+            (0..rng.gen_range(0usize..5))
+                .map(|_| (gen_string(rng), gen_json(rng, depth + 1)))
+                .collect(),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn render_parse_render_is_a_fixpoint(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = gen_json(&mut rng, 0);
+        let first = value.render();
+        let reparsed = match parse(&first) {
+            Ok(v) => v,
+            Err(e) => return Err(proptest::TestCaseError::fail(
+                format!("writer output must parse: {e}\n{first}"),
+            )),
+        };
+        let second = reparsed.render();
+        prop_assert_eq!(&first, &second);
+        // And the parsed form is stable too (no NaN survives the first
+        // pass, so structural equality is well-defined).
+        let reparsed2 = parse(&second).expect("second render must parse");
+        prop_assert_eq!(reparsed, reparsed2);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let value = gen_json(&mut rng, 2);
+        let doc = value.render();
+        prop_assert!(parse(&format!("{doc}]")).is_err() || doc.is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration tests for the live telemetry server: bind an ephemeral
+//! port, drive real HTTP requests against every route, and validate the
+//! exposition grammar and chrome-trace structure end to end.
+
+use cap_obs::json::Json;
+
+/// Sets up enabled obs + flight recording, runs `f` against a live
+/// server, then tears every piece of global state back down.
+fn with_server(f: impl FnOnce(std::net::SocketAddr)) {
+    let _lock = cap_obs::test_lock();
+    cap_obs::reset();
+    cap_obs::flight::enable();
+    let server = cap_obs::serve::Server::start("127.0.0.1:0").expect("bind ephemeral port");
+    f(server.addr());
+    server.stop();
+    cap_obs::flight::disable();
+    cap_obs::disable();
+    cap_obs::reset();
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    cap_obs::serve::http_get(addr, path).unwrap_or_else(|e| panic!("GET {path}: {e}"))
+}
+
+#[test]
+fn metrics_route_serves_valid_prometheus_text() {
+    with_server(|addr| {
+        cap_obs::counter_add("serve_test.requests", 7);
+        cap_obs::gauge_set("par.worker.0.busy_seconds", 1.25);
+        cap_obs::registry().histogram_record("serve_test.latency", 250.0);
+        let body = get(addr, "/metrics");
+        cap_obs::expo::validate(&body).expect("exposition grammar");
+        assert!(body.contains("cap_serve_test_requests 7\n"), "{body}");
+        assert!(
+            body.contains("cap_par_worker_0_busy_seconds 1.250000\n"),
+            "{body}"
+        );
+        assert!(
+            body.contains("# TYPE cap_serve_test_latency summary"),
+            "{body}"
+        );
+        assert!(body.contains("cap_obs_uptime_seconds"), "{body}");
+        // Scrapes are byte-stable modulo the samples the scrape itself
+        // moves (uptime, the server's own request counter).
+        let strip = |b: &str| {
+            b.lines()
+                .filter(|l| {
+                    !l.contains("cap_obs_uptime_seconds ")
+                        && !l.contains("cap_obs_http_requests_total ")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let again = get(addr, "/metrics");
+        assert_eq!(strip(&body), strip(&again));
+    });
+}
+
+#[test]
+fn healthz_and_report_routes_respond() {
+    with_server(|addr| {
+        assert_eq!(get(addr, "/healthz"), "ok\n");
+        cap_obs::counter_add("serve_test.reported", 3);
+        let report = get(addr, "/report");
+        let doc = cap_obs::json::parse(&report).expect("report is JSON");
+        assert!(doc.get("uptime_secs").and_then(Json::as_f64).is_some());
+        let metrics = match doc.get("metrics") {
+            Some(Json::Arr(items)) => items,
+            other => panic!("metrics array missing: {other:?}"),
+        };
+        assert!(metrics.iter().any(|m| {
+            m.get("name").and_then(Json::as_str) == Some("serve_test.reported")
+                && m.get("value").and_then(Json::as_u64) == Some(3)
+        }));
+    });
+}
+
+#[test]
+fn trace_route_exports_consistent_chrome_trace() {
+    with_server(|addr| {
+        for _ in 0..3 {
+            let _outer = cap_obs::SpanGuard::enter("outer");
+            let _inner = cap_obs::SpanGuard::enter("inner");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        cap_obs::emit(cap_obs::Event::new("marker"));
+        let body = get(addr, "/trace");
+        let doc = cap_obs::json::parse(&body).expect("trace is JSON");
+        let events = match doc {
+            Json::Arr(items) => items,
+            other => panic!("trace must be an event array: {other:?}"),
+        };
+        let mut spans = 0;
+        let mut instants = 0;
+        let mut last_ts = f64::NEG_INFINITY;
+        for e in &events {
+            match e.get("ph").and_then(Json::as_str) {
+                Some("M") => {
+                    assert_eq!(e.get("name").and_then(Json::as_str), Some("thread_name"));
+                    continue;
+                }
+                Some("X") => {
+                    spans += 1;
+                    let dur = e.get("dur").and_then(Json::as_f64).expect("dur");
+                    assert!(dur >= 0.0, "negative duration: {e:?}");
+                }
+                Some("i") => instants += 1,
+                other => panic!("unexpected phase {other:?} in {e:?}"),
+            }
+            let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+            assert!(ts >= 0.0 && ts.is_finite(), "bad ts in {e:?}");
+            // Non-metadata rows are sorted by start time.
+            assert!(ts >= last_ts, "ts not monotonic: {ts} < {last_ts}");
+            last_ts = ts;
+        }
+        assert_eq!(spans, 6, "3 iterations x (outer + inner)");
+        assert_eq!(instants, 1, "the marker event");
+    });
+}
+
+#[test]
+fn routes_reject_bad_requests() {
+    with_server(|addr| {
+        let body = cap_obs::serve::http_get(addr, "/nope");
+        assert!(body.is_err(), "404 should surface as an error: {body:?}");
+    });
+}

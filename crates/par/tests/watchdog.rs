@@ -1,0 +1,143 @@
+//! Watchdog integration tests: a parallel batch that outlives its
+//! deadline must fire `par_stall` exactly while the batch keeps running
+//! to completion (observe-only semantics).
+//!
+//! These tests live in their own integration binary so the global pool,
+//! the deadline override, and the cap-obs sink are not shared with the
+//! unit-test binary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Drives one batch that is guaranteed to strand the submitting thread
+/// on the latch while a worker still sleeps:
+///
+/// * the task that lands on a *worker* raises `worker_busy` and sleeps;
+/// * the task that lands on the *caller* spins until `worker_busy`
+///   (so a worker always ends up owning the sleep) and returns.
+///
+/// Whichever thread pops which task, the caller reaches the latch wait
+/// with a worker mid-sleep, which is the only window the watchdog
+/// covers.
+fn run_stalling_batch(sleep: Duration) {
+    let caller = std::thread::current().id();
+    let worker_busy = AtomicBool::new(false);
+    let task = |_i| {
+        if std::thread::current().id() == caller {
+            let patience = std::time::Instant::now();
+            while !worker_busy.load(Ordering::Acquire)
+                && patience.elapsed() < Duration::from_secs(5)
+            {
+                std::thread::yield_now();
+            }
+        } else {
+            worker_busy.store(true, Ordering::Release);
+            std::thread::sleep(sleep);
+        }
+    };
+    let tasks: Vec<cap_par::ScopedTask<'_>> = (0..2)
+        .map(|i| Box::new(move || task(i)) as cap_par::ScopedTask<'_>)
+        .collect();
+    // A dedicated 2-way pool (1 worker + caller) keeps the test
+    // deterministic even on single-core machines, where the global
+    // pool would have no workers and run everything inline. `run` also
+    // short-circuits when the global target is 1, so lift it for the
+    // duration of the batch (callers hold the obs test lock).
+    let prev_threads = cap_par::threads();
+    cap_par::set_threads(2);
+    let pool = cap_par::Pool::new(2);
+    pool.run(tasks);
+    cap_par::set_threads(prev_threads);
+}
+
+#[test]
+fn deadline_overrun_fires_par_stall_and_batch_still_completes() {
+    let _lock = cap_obs::test_lock();
+    cap_obs::reset();
+    cap_obs::enable();
+    let capture = cap_obs::sink::CaptureSink::new();
+    let handle = capture.handle();
+    cap_obs::set_sink(Box::new(capture));
+    cap_obs::flight::enable();
+    let dump = std::env::temp_dir().join(format!("cap-watchdog-{}.trace.json", std::process::id()));
+    std::env::set_var("CAP_FLIGHT_DUMP", &dump);
+
+    // A completed span seeds the flight recorder so the mid-batch dump
+    // has a timeline to show (the watchdog fires while the batch is
+    // still running, before any batch-side span could complete).
+    {
+        let _s = cap_obs::SpanGuard::enter("pre_batch");
+    }
+    cap_par::set_batch_deadline_ms(Some(10));
+    run_stalling_batch(Duration::from_millis(120));
+    cap_par::set_batch_deadline_ms(None);
+
+    let fired = cap_obs::registry()
+        .snapshot()
+        .into_iter()
+        .find_map(|(name, m)| match (name.as_str(), m) {
+            ("par.watchdog_fired_total", cap_obs::Metric::Counter(c)) => Some(c),
+            _ => None,
+        });
+    assert_eq!(
+        fired,
+        Some(1),
+        "watchdog must fire exactly once per overrun"
+    );
+    let lines = handle.lines();
+    let stall: Vec<&String> = lines.iter().filter(|l| l.contains("par_stall")).collect();
+    assert_eq!(stall.len(), 1, "expected one par_stall event: {lines:?}");
+    assert!(stall[0].contains("\"tasks\":2"), "{}", stall[0]);
+    assert!(stall[0].contains("deadline_secs"), "{}", stall[0]);
+
+    // The flight recorder was on, so the stall left an openable
+    // chrome-trace dump (trace-event array form) next to the event.
+    let body = std::fs::read_to_string(&dump).expect("flight dump written");
+    assert!(
+        body.contains("\"ph\":\"X\""),
+        "dump should hold the seeded span: {body}"
+    );
+    assert!(body.contains("\"pre_batch\""), "{body}");
+    cap_obs::json::parse(&body).expect("flight dump parses as JSON");
+    let _ = std::fs::remove_file(&dump);
+    std::env::remove_var("CAP_FLIGHT_DUMP");
+
+    cap_obs::flight::disable();
+    cap_obs::disable();
+    cap_obs::reset();
+}
+
+#[test]
+fn batches_under_deadline_stay_silent() {
+    let _lock = cap_obs::test_lock();
+    cap_obs::reset();
+    cap_obs::enable();
+    let capture = cap_obs::sink::CaptureSink::new();
+    let handle = capture.handle();
+    cap_obs::set_sink(Box::new(capture));
+
+    cap_par::set_batch_deadline_ms(Some(5_000));
+    let sums = cap_par::parallel_map(64, |i| i as u64);
+    cap_par::set_batch_deadline_ms(None);
+
+    assert_eq!(sums.iter().sum::<u64>(), 64 * 63 / 2);
+    assert!(
+        handle.lines().iter().all(|l| !l.contains("par_stall")),
+        "fast batch must not trip the watchdog"
+    );
+    cap_obs::disable();
+    cap_obs::reset();
+}
+
+#[test]
+fn deadline_env_and_override_resolution() {
+    // Serialise with the other tests: the deadline override is global.
+    let _lock = cap_obs::test_lock();
+    // Runtime override wins and `None` disables; 0 also disables.
+    cap_par::set_batch_deadline_ms(Some(250));
+    assert_eq!(cap_par::batch_deadline_ms(), Some(250));
+    cap_par::set_batch_deadline_ms(Some(0));
+    assert_eq!(cap_par::batch_deadline_ms(), None);
+    cap_par::set_batch_deadline_ms(None);
+    assert_eq!(cap_par::batch_deadline_ms(), None);
+}

@@ -13,6 +13,10 @@
 //! ```text
 //! CAP_TRACE=jsonl:run.jsonl cargo run --bin capctl -- info model.capn
 //! ```
+//!
+//! Live telemetry: `--serve-metrics <addr>` (or `CAP_METRICS_ADDR`)
+//! starts the cap-obs HTTP server exposing `/metrics`, `/healthz`,
+//! `/report` and `/trace` for the duration of the command.
 
 use cap_core::analyze_network;
 use cap_nn::layer::Layer;
@@ -58,25 +62,38 @@ fn describe(net: &Network) {
     }
 }
 
-/// Strips `--trace <spec>` from the argument list and initialises the
-/// observability layer from it (or from `CAP_TRACE` when absent).
+/// Strips `--trace <spec>` and `--serve-metrics <addr>` from the
+/// argument list and initialises the observability layer: the sink from
+/// the spec (or `CAP_TRACE` when absent), the live telemetry server
+/// from the flag (or `CAP_METRICS_ADDR` when absent).
 fn init_trace(args: &mut Vec<String>) -> Result<(), String> {
-    if let Some(pos) = args.iter().position(|a| a == "--trace") {
-        if pos + 1 >= args.len() {
-            return Err("--trace requires a spec (pretty | jsonl:<path>[,detail])".to_string());
+    let take = |args: &mut Vec<String>, flag: &str, what: &str| -> Result<Option<String>, String> {
+        match args.iter().position(|a| a == flag) {
+            Some(pos) if pos + 1 < args.len() => {
+                let value = args.remove(pos + 1);
+                args.remove(pos);
+                Ok(Some(value))
+            }
+            Some(_) => Err(format!("{flag} requires {what}")),
+            None => Ok(None),
         }
-        let spec = args.remove(pos + 1);
-        args.remove(pos);
-        cap_obs::init_from_spec(&spec)?;
-    } else {
-        cap_obs::init_from_env()?;
+    };
+    let spec = take(args, "--trace", "a spec (pretty | jsonl:<path>[,detail])")?;
+    let serve = take(args, "--serve-metrics", "an address (e.g. 127.0.0.1:9184)")?;
+    let telemetry = cap_obs::init_telemetry(spec.as_deref())?;
+    let bound = match serve {
+        Some(addr) => Some(cap_obs::serve::start_global(&addr)?),
+        None => telemetry.serving,
+    };
+    if let Some(addr) = bound {
+        eprintln!("cap-obs: live telemetry on http://{addr}/metrics");
     }
     Ok(())
 }
 
 fn run() -> Result<(), String> {
     let mut args: Vec<String> = std::env::args().collect();
-    let usage = "usage: capctl [--trace <spec>] info <file> | capctl [--trace <spec>] flops <file> <C> <H> <W>";
+    let usage = "usage: capctl [--trace <spec>] [--serve-metrics <addr>] info <file> | capctl [--trace <spec>] [--serve-metrics <addr>] flops <file> <C> <H> <W>";
     init_trace(&mut args)?;
     let _span = cap_obs::span!("capctl.run");
     if let Some(cmd) = args.get(1) {
@@ -121,6 +138,7 @@ fn run() -> Result<(), String> {
 
 fn main() -> ExitCode {
     let result = run();
+    cap_obs::serve::stop_global();
     cap_obs::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
