@@ -527,10 +527,12 @@ fn main() {
     };
     let records = run_benches(&opts, &thread_points);
     let json = write_json(&opts, &thread_points, &records);
-    std::fs::write(&opts.out, &json).unwrap_or_else(|e| {
-        eprintln!("failed to write {}: {e}", opts.out);
-        std::process::exit(1);
-    });
+    cap_obs::fsx::atomic_write(std::path::Path::new(&opts.out), json.as_bytes()).unwrap_or_else(
+        |e| {
+            eprintln!("failed to write {}: {e}", opts.out);
+            std::process::exit(1);
+        },
+    );
     for r in &records {
         println!(
             "{:<22} {:<24} threads={} {:>14.0} ns/iter",
@@ -541,10 +543,11 @@ fn main() {
 
     let (obs_records, scrape_mean, scrape_max, scrape_bytes) = run_obs_benches(&opts);
     let obs_json = write_obs_json(&opts, &obs_records, scrape_mean, scrape_max, scrape_bytes);
-    std::fs::write(&opts.obs_out, &obs_json).unwrap_or_else(|e| {
-        eprintln!("failed to write {}: {e}", opts.obs_out);
-        std::process::exit(1);
-    });
+    cap_obs::fsx::atomic_write(std::path::Path::new(&opts.obs_out), obs_json.as_bytes())
+        .unwrap_or_else(|e| {
+            eprintln!("failed to write {}: {e}", opts.obs_out);
+            std::process::exit(1);
+        });
     for r in &obs_records {
         println!(
             "obs {:<14} {:<16} {:>10.1} ns/iter",

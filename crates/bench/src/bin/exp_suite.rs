@@ -51,6 +51,7 @@ impl Suite {
             lr_decay: 0.97,
             regularizer: reg,
             shuffle_seed: self.scale.seed,
+            fault_policy: cap_nn::FaultPolicy::Abort,
         }
     }
 

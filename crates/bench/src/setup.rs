@@ -111,6 +111,7 @@ pub fn train_config(
         lr_decay: 0.97,
         regularizer,
         shuffle_seed: scale.seed,
+        fault_policy: cap_nn::FaultPolicy::Abort,
     }
 }
 
@@ -209,10 +210,16 @@ pub fn pretrain_cached(
     }
     let net = build_model(arch, kind, scale)?;
     let prepared = pretrain(net, data, scale, regularizer)?;
+    // Atomic cache writes: a crash mid-write must never leave a torn
+    // model for a later run to (fail to) load — half-written entries
+    // would poison every subsequent benchmark of this configuration.
     if std::fs::create_dir_all(cache_dir).is_ok() {
-        if let Ok(file) = std::fs::File::create(&model_path) {
-            let _ = cap_nn::checkpoint::save(&prepared.net, std::io::BufWriter::new(file));
-            let _ = std::fs::write(&acc_path, prepared.baseline_accuracy.to_string());
+        if let Ok(bytes) = cap_nn::checkpoint::to_bytes(&prepared.net) {
+            let _ = cap_obs::fsx::atomic_write(&model_path, &bytes);
+            let _ = cap_obs::fsx::atomic_write(
+                &acc_path,
+                prepared.baseline_accuracy.to_string().as_bytes(),
+            );
         }
     }
     Ok(prepared)

@@ -30,6 +30,13 @@ pub enum PruneError {
         /// Human-readable description.
         reason: String,
     },
+    /// The durable run directory (checkpoints/journal) failed or is
+    /// inconsistent with the requested run. Carries the stringified
+    /// cause chain so the error stays `Clone + PartialEq`.
+    Persistence {
+        /// Human-readable description including the cause chain.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PruneError {
@@ -43,6 +50,7 @@ impl fmt::Display for PruneError {
             }
             PruneError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             PruneError::StaleScores { reason } => write!(f, "stale scores: {reason}"),
+            PruneError::Persistence { reason } => write!(f, "run persistence: {reason}"),
         }
     }
 }

@@ -1,13 +1,27 @@
 //! The overall class-aware pruning framework (paper Fig. 5): score →
 //! prune → fine-tune → repeat, until no filter is prunable or accuracy
 //! cannot be recovered.
+//!
+//! # Crash safety
+//!
+//! [`ClassAwarePruner::run_with_dir`] persists every completed
+//! iteration through a [`RunDir`]: a generation-numbered checkpoint of
+//! the network plus one journal line per iteration, both durable before
+//! the next iteration starts. [`ClassAwarePruner::resume`] replays the
+//! journal and continues exactly where a killed run stopped. Because
+//! the whole loop is deterministic (fixed seeds, eval-mode scoring, the
+//! cap-par determinism contract) and no optimizer state crosses
+//! iteration boundaries, a resumed run finishes with final weights
+//! bit-identical to the uninterrupted run, at any thread count.
 
 use crate::{
     analyze_network, apply_site_pruning, evaluate_scores, find_prunable_sites, select_filters,
     FlopsReport, NetworkScores, PruneError, PruneStrategy, ScoreConfig,
 };
 use cap_data::Dataset;
-use cap_nn::{evaluate, fit, Network, TrainConfig};
+use cap_nn::{evaluate, fit, Network, RunDir, TrainConfig};
+use cap_obs::json::Json;
+use std::collections::BTreeMap;
 
 /// Configuration of the iterative pruning framework.
 #[derive(Debug, Clone)]
@@ -221,14 +235,196 @@ impl ClassAwarePruner {
         train: &Dataset,
         test: &Dataset,
     ) -> Result<PruneOutcome, PruneError> {
+        let baseline = self.compute_baseline(net, train, test)?;
+        self.drive(net, train, test, None, Vec::new(), 1, None, baseline)
+    }
+
+    /// Like [`run`](Self::run), but makes every completed iteration
+    /// durable in `dir` (created with [`RunDir::create`]): generation 0
+    /// holds the unpruned network, generation `i` the state after
+    /// iteration `i`, and the journal records each iteration's
+    /// statistics. A run killed at any point can be continued with
+    /// [`resume`](Self::resume).
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Self::run), plus [`PruneError::Persistence`] when a
+    /// checkpoint or journal write fails.
+    pub fn run_with_dir(
+        &self,
+        net: &mut Network,
+        train: &Dataset,
+        test: &Dataset,
+        dir: &RunDir,
+    ) -> Result<PruneOutcome, PruneError> {
+        let baseline = self.compute_baseline(net, train, test)?;
+        dir.save_generation(0, net).map_err(persist_err)?;
+        dir.append_journal(&meta_line(
+            config_fingerprint(&self.config),
+            self.config.max_iterations,
+        ))
+        .map_err(persist_err)?;
+        self.drive(net, train, test, Some(dir), Vec::new(), 1, None, baseline)
+    }
+
+    /// Resumes a run persisted by [`run_with_dir`](Self::run_with_dir)
+    /// after a crash (or completion — resuming a finished run just
+    /// reconstructs its outcome), returning the final network and the
+    /// combined outcome covering replayed and newly run iterations.
+    ///
+    /// The journal is the source of truth: the newest *valid*
+    /// checkpoint at or below the last journaled iteration is loaded
+    /// (transparently falling back past corrupt generations, whose
+    /// iterations are then deterministically re-run), stop conditions
+    /// are re-evaluated from the journal, and the loop continues.
+    ///
+    /// # Errors
+    ///
+    /// [`PruneError::Persistence`] when the journal is missing or
+    /// corrupt, the configuration differs from the recorded run, or no
+    /// checkpoint validates; otherwise as [`run`](Self::run).
+    pub fn resume(
+        &self,
+        train: &Dataset,
+        test: &Dataset,
+        dir: &RunDir,
+    ) -> Result<(Network, PruneOutcome), PruneError> {
+        let cfg = &self.config;
+        let records = dir.read_journal().map_err(persist_err)?;
+        let meta = records
+            .iter()
+            .find(|j| j.get("type").and_then(Json::as_str) == Some("meta"))
+            .ok_or_else(|| PruneError::Persistence {
+                reason: format!(
+                    "{} has no meta journal record — not a run started with run_with_dir",
+                    dir.root().display()
+                ),
+            })?;
+        let recorded_fp = meta.get("config_fp").and_then(Json::as_u64).unwrap_or(0);
+        let fp = config_fingerprint(cfg);
+        if recorded_fp != fp {
+            return Err(PruneError::Persistence {
+                reason: format!(
+                    "configuration changed since the run was started \
+                     (fingerprint {recorded_fp:#x} on disk vs {fp:#x} now); \
+                     resume requires the identical PruneConfig"
+                ),
+            });
+        }
+        // Journal iteration records, last occurrence winning (a resume
+        // that re-ran iterations after a checkpoint fallback appends
+        // duplicates; determinism makes them identical up to timings).
+        let mut by_iter: BTreeMap<usize, IterationRecord> = BTreeMap::new();
+        for j in &records {
+            if j.get("type").and_then(Json::as_str) == Some("iter") {
+                let r = parse_iter_record(j).ok_or_else(|| PruneError::Persistence {
+                    reason: "journal iter record with missing fields".to_string(),
+                })?;
+                by_iter.insert(r.iteration, r);
+            }
+        }
+        let journaled = by_iter.len();
+        if by_iter.keys().copied().ne(1..=journaled) {
+            return Err(PruneError::Persistence {
+                reason: format!(
+                    "journal iterations are not contiguous: {:?}",
+                    by_iter.keys().collect::<Vec<_>>()
+                ),
+            });
+        }
+        // Newest valid checkpoint at or below the last journaled
+        // iteration (an orphan checkpoint newer than the journal — a
+        // crash between checkpoint write and journal append — is
+        // ignored and overwritten by the re-run).
+        let (gen, mut net) =
+            dir.latest_valid(Some(journaled as u64))
+                .ok_or_else(|| PruneError::Persistence {
+                    reason: format!(
+                        "no checkpoint in {} passes validation; cannot resume",
+                        dir.root().display()
+                    ),
+                })?;
+        let replayed: Vec<IterationRecord> =
+            (1..=gen as usize).map(|i| by_iter[&i].clone()).collect();
+        cap_obs::emit(
+            cap_obs::Event::new("prune_resume")
+                .u64("journaled_iterations", journaled as u64)
+                .u64("resume_generation", gen),
+        );
+        // Baseline statistics are recomputed from the unpruned network;
+        // scoring and evaluation are deterministic and read-only, so
+        // the numbers are bit-identical to the original run's.
+        let mut gen0 = dir.load_generation(0).map_err(persist_err)?;
+        let baseline = self.compute_baseline(&mut gen0, train, test)?;
+        // Re-evaluate the stop conditions the crash may have preempted:
+        // the journal can end with an iteration whose rollback was
+        // decided but not yet applied.
+        let mut forced_stop = None;
+        if let Some(last) = replayed.last() {
+            if baseline.accuracy - last.accuracy_after_finetune > cfg.accuracy_drop_limit {
+                let prev = (last.iteration - 1) as u64;
+                net = dir.load_generation(prev).map_err(persist_err)?;
+                forced_stop = Some(StopReason::AccuracyUnrecoverable);
+            }
+        }
+        let start = gen as usize + 1;
+        let outcome = self.drive(
+            &mut net,
+            train,
+            test,
+            Some(dir),
+            replayed,
+            start,
+            forced_stop,
+            baseline,
+        )?;
+        Ok((net, outcome))
+    }
+
+    /// Baseline statistics of the unpruned network (all read-only
+    /// passes; `net` weights are not modified).
+    fn compute_baseline(
+        &self,
+        net: &mut Network,
+        train: &Dataset,
+        test: &Dataset,
+    ) -> Result<Baseline, PruneError> {
+        let cfg = &self.config;
+        let (in_c, in_h, in_w) = input_dims(train)?;
+        let accuracy = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
+        let cost = analyze_network(net, in_c, in_h, in_w)?;
+        let sites0 = find_prunable_sites(net);
+        let scores = evaluate_scores(net, &sites0, train, &cfg.score)?;
+        Ok(Baseline {
+            accuracy,
+            cost,
+            scores,
+        })
+    }
+
+    /// The Fig. 5 loop over iterations `start..=max_iterations` (shared
+    /// by fresh, persisted and resumed runs), followed by the final
+    /// analysis. `iterations` carries records replayed from a journal;
+    /// `forced_stop` skips the loop when resume already determined the
+    /// run is over.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        &self,
+        net: &mut Network,
+        train: &Dataset,
+        test: &Dataset,
+        persist: Option<&RunDir>,
+        mut iterations: Vec<IterationRecord>,
+        start: usize,
+        forced_stop: Option<StopReason>,
+        baseline: Baseline,
+    ) -> Result<PruneOutcome, PruneError> {
         let _run_span = cap_obs::span!("core.prune.run");
         let cfg = &self.config;
         let (in_c, in_h, in_w) = input_dims(train)?;
-
-        let baseline_accuracy = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
-        let baseline_cost = analyze_network(net, in_c, in_h, in_w)?;
-        let sites0 = find_prunable_sites(net);
-        let scores_before = evaluate_scores(net, &sites0, train, &cfg.score)?;
+        let baseline_accuracy = baseline.accuracy;
+        let baseline_cost = baseline.cost;
+        let scores_before = baseline.scores;
         cap_obs::emit(
             cap_obs::Event::new("prune_start")
                 .f64("baseline_accuracy", baseline_accuracy)
@@ -237,9 +433,15 @@ impl ClassAwarePruner {
                 .u64("max_iterations", cfg.max_iterations as u64),
         );
 
-        let mut iterations: Vec<IterationRecord> = Vec::new();
-        let mut stop_reason = StopReason::MaxIterations;
-        for iteration in 1..=cfg.max_iterations {
+        let mut stop_reason = forced_stop.unwrap_or(StopReason::MaxIterations);
+        let last_iteration = if forced_stop.is_some() {
+            // Resume determined the run already ended (e.g. rollback):
+            // an empty range skips the loop entirely.
+            0
+        } else {
+            cfg.max_iterations
+        };
+        for iteration in start..=last_iteration {
             let _iter_span = cap_obs::span!("core.prune.iteration");
             // Live gauge: a mid-run /metrics scrape shows which pruning
             // iteration is underway.
@@ -319,6 +521,17 @@ impl ClassAwarePruner {
             cap_obs::gauge_set("core.params", record.params as f64);
             cap_obs::gauge_set("core.accuracy", record.accuracy_after_finetune);
             cap_obs::gauge_set("core.remaining_filters", record.remaining_filters as f64);
+            if let Some(dir) = persist {
+                // Checkpoint first, then the journal line: a crash in
+                // between leaves an orphan checkpoint that resume
+                // ignores. Only once both are durable may the injected
+                // crash fire (it stands in for a SIGKILL here).
+                dir.save_generation(iteration as u64, net)
+                    .map_err(persist_err)?;
+                dir.append_journal(&iter_line(&record))
+                    .map_err(persist_err)?;
+                cap_faults::maybe_crash_after_iter(iteration as u64);
+            }
             iterations.push(record);
             if baseline_accuracy - accuracy_after_finetune > cfg.accuracy_drop_limit {
                 *net = snapshot;
@@ -327,6 +540,14 @@ impl ClassAwarePruner {
             }
         }
 
+        if let Some(dir) = persist {
+            let final_gen = match stop_reason {
+                StopReason::AccuracyUnrecoverable => iterations.len().saturating_sub(1),
+                _ => iterations.len(),
+            };
+            dir.append_journal(&stop_line(stop_reason, final_gen as u64))
+                .map_err(persist_err)?;
+        }
         let final_accuracy = evaluate(net, test.images(), test.labels(), cfg.eval_batch)?;
         let final_cost = analyze_network(net, in_c, in_h, in_w)?;
         let sites_final = find_prunable_sites(net);
@@ -350,6 +571,96 @@ impl ClassAwarePruner {
             stop_reason,
         })
     }
+}
+
+/// Baseline statistics of the unpruned network.
+struct Baseline {
+    accuracy: f64,
+    cost: FlopsReport,
+    scores: NetworkScores,
+}
+
+/// Maps a run-dir failure into [`PruneError::Persistence`], flattening
+/// the `source()` chain into the reason string (the error stays
+/// `Clone + PartialEq`).
+fn persist_err(e: cap_nn::RunDirError) -> PruneError {
+    use std::error::Error;
+    let mut reason = e.to_string();
+    let mut cause: Option<&dyn Error> = e.source();
+    while let Some(c) = cause {
+        reason.push_str(": ");
+        reason.push_str(&c.to_string());
+        cause = c.source();
+    }
+    PruneError::Persistence { reason }
+}
+
+/// FNV-1a over the configuration's debug rendering: cheap, stable
+/// within a build, and any field change alters it. Guards against
+/// resuming a run with different hyper-parameters, which would break
+/// bit-identity silently.
+fn config_fingerprint(cfg: &PruneConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{cfg:?}").bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // The journal stores numbers as f64; 53 bits roundtrip exactly.
+    hash & ((1 << 53) - 1)
+}
+
+fn meta_line(config_fp: u64, max_iterations: usize) -> String {
+    format!(
+        "{{\"type\":\"meta\",\"format\":1,\"config_fp\":{config_fp},\"max_iterations\":{max_iterations}}}"
+    )
+}
+
+/// One journal line per completed iteration. Floats use Rust's
+/// shortest-roundtrip `Display`, so parsing recovers them bit-exactly —
+/// the resume-time rollback decision compares the same f64 the original
+/// run compared.
+fn iter_line(r: &IterationRecord) -> String {
+    format!(
+        "{{\"type\":\"iter\",\"iteration\":{},\"removed_filters\":{},\"remaining_filters\":{},\
+         \"accuracy_after_prune\":{},\"accuracy_after_finetune\":{},\"mean_score\":{},\
+         \"flops\":{},\"params\":{},\"secs_score\":{},\"secs_surgery\":{},\
+         \"secs_finetune\":{},\"secs_eval\":{}}}",
+        r.iteration,
+        r.removed_filters,
+        r.remaining_filters,
+        r.accuracy_after_prune,
+        r.accuracy_after_finetune,
+        r.mean_score,
+        r.flops,
+        r.params,
+        r.secs_score,
+        r.secs_surgery,
+        r.secs_finetune,
+        r.secs_eval
+    )
+}
+
+fn stop_line(reason: StopReason, final_gen: u64) -> String {
+    format!("{{\"type\":\"stop\",\"reason\":\"{reason:?}\",\"final_gen\":{final_gen}}}")
+}
+
+fn parse_iter_record(j: &Json) -> Option<IterationRecord> {
+    let u = |k: &str| j.get(k).and_then(Json::as_u64);
+    let f = |k: &str| j.get(k).and_then(Json::as_f64);
+    Some(IterationRecord {
+        iteration: u("iteration")? as usize,
+        removed_filters: u("removed_filters")? as usize,
+        remaining_filters: u("remaining_filters")? as usize,
+        accuracy_after_prune: f("accuracy_after_prune")?,
+        accuracy_after_finetune: f("accuracy_after_finetune")?,
+        mean_score: f("mean_score")?,
+        flops: u("flops")?,
+        params: u("params")?,
+        secs_score: f("secs_score")?,
+        secs_surgery: f("secs_surgery")?,
+        secs_finetune: f("secs_finetune")?,
+        secs_eval: f("secs_eval")?,
+    })
 }
 
 fn emit_iteration(r: &IterationRecord) {
@@ -532,6 +843,148 @@ mod tests {
         for line in &lines[1..] {
             assert_eq!(line.split(',').count(), 12);
         }
+    }
+
+    /// Non-timing fields of two records must agree (timings legitimately
+    /// differ between a run and its resumed replay).
+    fn assert_records_match(a: &IterationRecord, b: &IterationRecord) {
+        assert_eq!(a.iteration, b.iteration);
+        assert_eq!(a.removed_filters, b.removed_filters);
+        assert_eq!(a.remaining_filters, b.remaining_filters);
+        assert_eq!(
+            a.accuracy_after_prune.to_bits(),
+            b.accuracy_after_prune.to_bits()
+        );
+        assert_eq!(
+            a.accuracy_after_finetune.to_bits(),
+            b.accuracy_after_finetune.to_bits()
+        );
+        assert_eq!(a.mean_score.to_bits(), b.mean_score.to_bits());
+        assert_eq!(a.flops, b.flops);
+        assert_eq!(a.params, b.params);
+    }
+
+    /// Copies a run dir, truncating the journal to the meta record plus
+    /// iterations `..= upto` and dropping checkpoints newer than
+    /// generation `upto` — the on-disk state of a run killed right
+    /// after journaling iteration `upto`.
+    fn crash_copy(src: &std::path::Path, dst: &std::path::Path, upto: usize) {
+        let _ = std::fs::remove_dir_all(dst);
+        std::fs::create_dir_all(dst.join("ckpt")).unwrap();
+        std::fs::copy(src.join("MANIFEST.json"), dst.join("MANIFEST.json")).unwrap();
+        for gen in 0..=upto {
+            let name = format!("gen-{gen:06}.capn");
+            std::fs::copy(src.join("ckpt").join(&name), dst.join("ckpt").join(&name)).unwrap();
+        }
+        let journal = std::fs::read_to_string(src.join("journal.jsonl")).unwrap();
+        let kept: Vec<&str> = journal
+            .lines()
+            .filter(|l| {
+                let j = cap_obs::json::parse(l).unwrap();
+                match j.get("type").and_then(|t| t.as_str()) {
+                    Some("meta") => true,
+                    Some("iter") => {
+                        j.get("iteration").and_then(|v| v.as_u64()).unwrap() <= upto as u64
+                    }
+                    _ => false,
+                }
+            })
+            .collect();
+        std::fs::write(dst.join("journal.jsonl"), kept.join("\n") + "\n").unwrap();
+    }
+
+    #[test]
+    fn resume_after_simulated_crash_is_bit_identical() {
+        let _guard = cap_obs::test_lock();
+        let data = tiny_data();
+        let mut net = tiny_net();
+        fit(
+            &mut net,
+            data.train().images(),
+            data.train().labels(),
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 20,
+                lr: 0.02,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        let pruner = ClassAwarePruner::new(PruneConfig {
+            strategy: PruneStrategy::Percentage { fraction: 0.2 },
+            ..quick_config()
+        })
+        .unwrap();
+
+        let base = std::env::temp_dir().join(format!("cap_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let ref_path = base.join("reference");
+        let dir_a = RunDir::create(&ref_path).unwrap();
+        let outcome_a = pruner
+            .run_with_dir(&mut net, data.train(), data.test(), &dir_a)
+            .unwrap();
+        assert!(
+            outcome_a.iterations.len() >= 2,
+            "need at least two iterations to exercise resume, got {}",
+            outcome_a.iterations.len()
+        );
+        let ref_bytes = cap_nn::checkpoint::to_bytes(&net).unwrap();
+
+        // Crash after iteration 1 → resume must finish bit-identically.
+        let crashed = base.join("crashed");
+        crash_copy(&ref_path, &crashed, 1);
+        let dir_b = RunDir::open(&crashed).unwrap();
+        let (net_b, outcome_b) = pruner.resume(data.train(), data.test(), &dir_b).unwrap();
+        assert_eq!(
+            cap_nn::checkpoint::to_bytes(&net_b).unwrap(),
+            ref_bytes,
+            "resumed weights must be bit-identical to the uninterrupted run"
+        );
+        assert_eq!(outcome_a.stop_reason, outcome_b.stop_reason);
+        assert_eq!(outcome_a.iterations.len(), outcome_b.iterations.len());
+        assert_eq!(
+            outcome_a.baseline_accuracy.to_bits(),
+            outcome_b.baseline_accuracy.to_bits()
+        );
+        assert_eq!(
+            outcome_a.final_accuracy.to_bits(),
+            outcome_b.final_accuracy.to_bits()
+        );
+        for (a, b) in outcome_a.iterations.iter().zip(&outcome_b.iterations) {
+            assert_records_match(a, b);
+        }
+
+        // Same crash, but the newest surviving checkpoint is corrupt:
+        // resume falls back to generation 0 and deterministically
+        // re-runs everything, still landing on identical weights.
+        let corrupt = base.join("corrupt");
+        crash_copy(&ref_path, &corrupt, 1);
+        let g1 = corrupt.join("ckpt").join("gen-000001.capn");
+        let mut bytes = std::fs::read(&g1).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&g1, &bytes).unwrap();
+        let dir_c = RunDir::open(&corrupt).unwrap();
+        let (net_c, outcome_c) = pruner.resume(data.train(), data.test(), &dir_c).unwrap();
+        assert_eq!(
+            cap_nn::checkpoint::to_bytes(&net_c).unwrap(),
+            ref_bytes,
+            "fallback past a corrupt checkpoint must not change the result"
+        );
+        assert_eq!(outcome_a.iterations.len(), outcome_c.iterations.len());
+
+        // Resuming with a different configuration is refused.
+        let other = ClassAwarePruner::new(PruneConfig {
+            strategy: PruneStrategy::Percentage { fraction: 0.3 },
+            ..quick_config()
+        })
+        .unwrap();
+        assert!(matches!(
+            other.resume(data.train(), data.test(), &dir_b),
+            Err(PruneError::Persistence { .. })
+        ));
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! The framework's rollback guarantee: when fine-tuning cannot recover
+//! accuracy, the pre-iteration snapshot is restored **bit-identically**
+//! — and the guarantee holds at any thread count, per the cap-par
+//! determinism contract.
+
+use cap_core::{ClassAwarePruner, PruneConfig, PruneStrategy, StopReason};
+use cap_data::{DatasetSpec, SyntheticDataset};
+use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
+use cap_nn::{checkpoint, fit, Network, TrainConfig};
+use rand::SeedableRng;
+
+fn tiny_data() -> SyntheticDataset {
+    SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(8)
+            .with_counts(12, 4),
+    )
+    .unwrap()
+}
+
+fn pretrained_net(data: &SyntheticDataset) -> Network {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 12, 3, 1, 1, false, &mut rng).unwrap());
+    net.push(BatchNorm2d::new(12).unwrap());
+    net.push(Relu::new());
+    net.push(Conv2d::new(12, 12, 3, 1, 1, false, &mut rng).unwrap());
+    net.push(BatchNorm2d::new(12).unwrap());
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(12, 10, &mut rng).unwrap());
+    fit(
+        &mut net,
+        data.train().images(),
+        data.train().labels(),
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 20,
+            lr: 0.02,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
+    net
+}
+
+/// One sequential test (not one per thread count) because the thread
+/// count is process-global state.
+#[test]
+fn rollback_restores_network_bit_identically_at_1_and_4_threads() {
+    let data = tiny_data();
+    for threads in [1usize, 4] {
+        cap_par::set_threads(threads);
+        let mut net = pretrained_net(&data);
+        let before = checkpoint::to_bytes(&net).unwrap();
+        // Aggressive pruning, zero drop budget, and a learning rate too
+        // small to recover: the first iteration must be rolled back.
+        let pruner = ClassAwarePruner::new(PruneConfig {
+            strategy: PruneStrategy::Percentage { fraction: 0.8 },
+            finetune: TrainConfig {
+                epochs: 1,
+                batch_size: 120,
+                lr: 1e-6,
+                ..TrainConfig::default()
+            },
+            max_iterations: 5,
+            accuracy_drop_limit: 0.0,
+            ..PruneConfig::default()
+        })
+        .unwrap();
+        let outcome = pruner.run(&mut net, data.train(), data.test()).unwrap();
+        assert_eq!(
+            outcome.stop_reason,
+            StopReason::AccuracyUnrecoverable,
+            "setup must force a rollback (threads={threads})"
+        );
+        let after = checkpoint::to_bytes(&net).unwrap();
+        assert_eq!(
+            before, after,
+            "rollback must restore the pre-iteration weights bit-identically (threads={threads})"
+        );
+    }
+}

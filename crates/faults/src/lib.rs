@@ -1,0 +1,304 @@
+#![warn(missing_docs)]
+#![warn(rustdoc::broken_intra_doc_links)]
+
+//! `cap-faults` — a tiny fault-injection harness that lets integration
+//! tests prove the workspace's recovery paths actually recover.
+//!
+//! Production code calls the `maybe_*` hooks at well-defined fault
+//! points; with no fault armed every hook is a single relaxed atomic
+//! load. Faults are armed either from the `CAP_FAULT` environment
+//! variable (read once, on the first hook) or programmatically with
+//! [`set_spec`] from tests.
+//!
+//! # Grammar
+//!
+//! `CAP_FAULT` is a comma-separated list of directives:
+//!
+//! ```text
+//! crash_after_iter=2          abort() right after pruning iteration 2
+//!                             has been journaled (simulates SIGKILL)
+//! corrupt_ckpt=bitflip:1337   flip one seed-chosen bit in the next
+//!                             checkpoint written (one-shot)
+//! nan_grad_at=step:40         poison the gradients of training step 40
+//!                             (per fit() call, steps count from 1)
+//! panic_worker=3              panic inside the 3rd pooled task executed
+//!                             in this process (one-shot)
+//! ```
+//!
+//! Directives compose: `CAP_FAULT=corrupt_ckpt=bitflip:7,crash_after_iter=2`.
+//!
+//! # Example
+//!
+//! ```
+//! cap_faults::set_spec(Some("nan_grad_at=step:3")).unwrap();
+//! assert!(!cap_faults::nan_grad_at_step(2));
+//! assert!(cap_faults::nan_grad_at_step(3));
+//! cap_faults::set_spec(None).unwrap();
+//! assert!(!cap_faults::armed());
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The parsed set of armed faults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// `crash_after_iter=N`: abort the process right after pruning
+    /// iteration `N` is durably recorded.
+    pub crash_after_iter: Option<u64>,
+    /// `corrupt_ckpt=bitflip:SEED`: flip one bit (position derived from
+    /// the seed) in the next checkpoint written. One-shot.
+    pub corrupt_ckpt: Option<u64>,
+    /// `nan_grad_at=step:N`: poison the gradients of training step `N`
+    /// (1-based, counted per `fit` call across epochs).
+    pub nan_grad_at: Option<u64>,
+    /// `panic_worker=N`: panic inside the `N`-th pooled task executed
+    /// in this process. One-shot.
+    pub panic_worker: Option<u64>,
+}
+
+impl FaultSpec {
+    fn is_empty(&self) -> bool {
+        *self == FaultSpec::default()
+    }
+}
+
+/// Parses a `CAP_FAULT` value.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed directive.
+pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+    let mut out = FaultSpec::default();
+    for directive in spec.split(',').filter(|d| !d.trim().is_empty()) {
+        let (key, value) = directive
+            .split_once('=')
+            .ok_or_else(|| format!("fault directive {directive:?} is not key=value"))?;
+        let parse_u64 = |v: &str, what: &str| {
+            v.parse::<u64>()
+                .map_err(|e| format!("{what} in {directive:?}: {e}"))
+        };
+        match key.trim() {
+            "crash_after_iter" => out.crash_after_iter = Some(parse_u64(value, "bad iteration")?),
+            "corrupt_ckpt" => {
+                let seed = value
+                    .strip_prefix("bitflip:")
+                    .ok_or_else(|| format!("corrupt_ckpt wants bitflip:<seed>, got {value:?}"))?;
+                out.corrupt_ckpt = Some(parse_u64(seed, "bad seed")?);
+            }
+            "nan_grad_at" => {
+                let step = value
+                    .strip_prefix("step:")
+                    .ok_or_else(|| format!("nan_grad_at wants step:<n>, got {value:?}"))?;
+                out.nan_grad_at = Some(parse_u64(step, "bad step")?);
+            }
+            "panic_worker" => out.panic_worker = Some(parse_u64(value, "bad task index")?),
+            other => return Err(format!("unknown fault directive {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Fast-path gate: true when any fault is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Whether the spec has been resolved (from env or [`set_spec`]).
+static INITED: AtomicBool = AtomicBool::new(false);
+static SPEC: Mutex<FaultSpec> = Mutex::new(FaultSpec {
+    crash_after_iter: None,
+    corrupt_ckpt: None,
+    nan_grad_at: None,
+    panic_worker: None,
+});
+/// Pooled tasks executed so far (only counted while `panic_worker` is
+/// armed).
+static TASKS: AtomicU64 = AtomicU64::new(0);
+
+fn ensure_init() {
+    if INITED.load(Ordering::Acquire) {
+        return;
+    }
+    let mut spec = SPEC.lock().unwrap_or_else(|p| p.into_inner());
+    if INITED.load(Ordering::Acquire) {
+        return;
+    }
+    let parsed = std::env::var("CAP_FAULT")
+        .ok()
+        .filter(|v| !v.is_empty())
+        .and_then(|v| match parse(&v) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cap-faults: ignoring CAP_FAULT: {e}");
+                None
+            }
+        })
+        .unwrap_or_default();
+    *spec = parsed;
+    ARMED.store(!parsed.is_empty(), Ordering::Release);
+    INITED.store(true, Ordering::Release);
+}
+
+/// Whether any fault is armed. One relaxed atomic load after the first
+/// call — this is the entire cost of a disarmed hook.
+#[inline]
+pub fn armed() -> bool {
+    if !INITED.load(Ordering::Relaxed) {
+        ensure_init();
+    }
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms faults programmatically (`None` disarms everything), replacing
+/// whatever `CAP_FAULT` resolved to. Meant for tests; also resets the
+/// one-shot state.
+///
+/// # Errors
+///
+/// Propagates [`parse`] errors without changing the armed state.
+pub fn set_spec(spec: Option<&str>) -> Result<(), String> {
+    let parsed = match spec {
+        Some(s) => parse(s)?,
+        None => FaultSpec::default(),
+    };
+    let mut slot = SPEC.lock().unwrap_or_else(|p| p.into_inner());
+    *slot = parsed;
+    TASKS.store(0, Ordering::Relaxed);
+    ARMED.store(!parsed.is_empty(), Ordering::Release);
+    INITED.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// A copy of the armed spec (resolving `CAP_FAULT` on first use).
+pub fn spec() -> FaultSpec {
+    ensure_init();
+    *SPEC.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Crash point: aborts the process (no destructors, no flush — the
+/// closest safe stand-in for SIGKILL) when `crash_after_iter=iter` is
+/// armed. Call *after* iteration `iter` has been made durable.
+pub fn maybe_crash_after_iter(iter: u64) {
+    if !armed() {
+        return;
+    }
+    if spec().crash_after_iter == Some(iter) {
+        eprintln!("cap-faults: crash_after_iter={iter} fired, aborting");
+        std::process::abort();
+    }
+}
+
+/// One-shot checkpoint corruption: when `corrupt_ckpt=bitflip:<seed>`
+/// is armed, returns the seed once and disarms the directive. The
+/// caller flips one bit of the serialised checkpoint before writing it.
+pub fn take_corrupt_ckpt() -> Option<u64> {
+    if !armed() {
+        return None;
+    }
+    let mut slot = SPEC.lock().unwrap_or_else(|p| p.into_inner());
+    let seed = slot.corrupt_ckpt.take();
+    if seed.is_some() {
+        ARMED.store(!slot.is_empty(), Ordering::Release);
+    }
+    seed
+}
+
+/// Picks the bit to flip for a corruption of `len` bytes: a
+/// splitmix64-scrambled position so different seeds hit different
+/// framing/payload regions.
+pub fn bitflip_position(seed: u64, len: usize) -> usize {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % (len.max(1) as u64 * 8)) as usize
+}
+
+/// Whether the gradients of training step `step` (1-based) should be
+/// poisoned with NaN.
+#[inline]
+pub fn nan_grad_at_step(step: u64) -> bool {
+    armed() && spec().nan_grad_at == Some(step)
+}
+
+/// Task-entry hook for thread-pool workers: panics inside the `N`-th
+/// pooled task executed in this process when `panic_worker=N` is armed.
+/// One-shot (the counter passes `N` exactly once).
+#[inline]
+pub fn maybe_panic_task() {
+    if !armed() {
+        return;
+    }
+    if let Some(n) = spec().panic_worker {
+        let t = TASKS.fetch_add(1, Ordering::Relaxed) + 1;
+        if t == n {
+            panic!("cap-faults: panic_worker={n} fired");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialises tests that touch the process-global fault state.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn parse_grammar() {
+        let s = parse("crash_after_iter=2,corrupt_ckpt=bitflip:1337").unwrap();
+        assert_eq!(s.crash_after_iter, Some(2));
+        assert_eq!(s.corrupt_ckpt, Some(1337));
+        let s = parse("nan_grad_at=step:40,panic_worker=1").unwrap();
+        assert_eq!(s.nan_grad_at, Some(40));
+        assert_eq!(s.panic_worker, Some(1));
+        assert_eq!(parse("").unwrap(), FaultSpec::default());
+        assert!(parse("bogus").is_err());
+        assert!(parse("bogus=1").is_err());
+        assert!(parse("corrupt_ckpt=zap:1").is_err());
+        assert!(parse("nan_grad_at=step:x").is_err());
+    }
+
+    #[test]
+    fn corrupt_ckpt_is_one_shot() {
+        let _guard = lock();
+        set_spec(Some("corrupt_ckpt=bitflip:7")).unwrap();
+        assert!(armed());
+        assert_eq!(take_corrupt_ckpt(), Some(7));
+        assert_eq!(take_corrupt_ckpt(), None);
+        assert!(!armed(), "consuming the only directive disarms the gate");
+        set_spec(None).unwrap();
+    }
+
+    #[test]
+    fn nan_step_matches_exactly() {
+        let _guard = lock();
+        set_spec(Some("nan_grad_at=step:5")).unwrap();
+        assert!(!nan_grad_at_step(4));
+        assert!(nan_grad_at_step(5));
+        assert!(!nan_grad_at_step(6));
+        set_spec(None).unwrap();
+    }
+
+    #[test]
+    fn panic_task_fires_once_at_index() {
+        let _guard = lock();
+        set_spec(Some("panic_worker=3")).unwrap();
+        maybe_panic_task();
+        maybe_panic_task();
+        let result = std::panic::catch_unwind(maybe_panic_task);
+        assert!(result.is_err(), "third task must panic");
+        maybe_panic_task(); // fourth task is fine again
+        set_spec(None).unwrap();
+    }
+
+    #[test]
+    fn bitflip_position_in_range() {
+        for seed in 0..64u64 {
+            let pos = bitflip_position(seed, 100);
+            assert!(pos < 800);
+        }
+        assert!(bitflip_position(1, 0) < 8, "len 0 clamps to one byte");
+    }
+}

@@ -6,6 +6,27 @@
 //! state or forward caches) to a compact versioned little-endian binary
 //! format.
 //!
+//! # Wire format
+//!
+//! Version 2 (written by [`save`]) frames the layer payload for
+//! integrity checking:
+//!
+//! ```text
+//! "CAPN" | u32 version=2 | u64 payload_len | u32 crc32(payload) | payload
+//! ```
+//!
+//! where `payload` is the version-1 body (layer count + tagged layers).
+//! [`load`] verifies the CRC before parsing, so any bit flip in the
+//! payload is rejected as [`CheckpointError::ChecksumMismatch`] instead
+//! of silently restoring garbage weights. Version-1 streams (no
+//! framing) remain loadable; [`save_v1`] still writes them for
+//! compatibility tests.
+//!
+//! All length fields are validated and data is read incrementally, so a
+//! hostile or truncated stream fails with a [`CheckpointError`] without
+//! large speculative allocations — and never panics (see the
+//! `checkpoint_hostile` proptests).
+//!
 //! # Example
 //!
 //! ```
@@ -39,7 +60,43 @@ use std::fmt;
 use std::io::{Read, Write};
 
 const MAGIC: &[u8; 4] = b"CAPN";
-const VERSION: u32 = 1;
+/// Current (framed, checksummed) format version.
+const VERSION: u32 = 2;
+/// Legacy unframed format version.
+const VERSION_V1: u32 = 1;
+/// Upper bound accepted for the v2 payload length field (hostile input
+/// guard; real checkpoints in this workspace are megabytes).
+const MAX_PAYLOAD: u64 = 1 << 31;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`, as used by the v2 checkpoint framing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// Errors produced by checkpoint serialisation.
 #[derive(Debug)]
@@ -58,6 +115,14 @@ pub enum CheckpointError {
         /// Human-readable description.
         reason: String,
     },
+    /// The v2 payload checksum does not match — the file was corrupted
+    /// after it was written (bit rot, torn write, hostile edit).
+    ChecksumMismatch {
+        /// CRC recorded in the frame header.
+        expected: u32,
+        /// CRC computed over the payload actually read.
+        found: u32,
+    },
     /// Reassembling a layer from parts failed.
     Nn(NnError),
 }
@@ -74,6 +139,10 @@ impl fmt::Display for CheckpointError {
                 )
             }
             CheckpointError::Corrupt { reason } => write!(f, "corrupt checkpoint: {reason}"),
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {expected:#010x}, payload is {found:#010x}"
+            ),
             CheckpointError::Nn(e) => write!(f, "invalid layer in checkpoint: {e}"),
         }
     }
@@ -111,30 +180,73 @@ const TAG_FLATTEN: u8 = 6;
 const TAG_LINEAR: u8 = 7;
 const TAG_RESIDUAL: u8 = 8;
 
-/// Saves `net` to `w`. A `&mut` reference works as the writer.
+/// Saves `net` to `w` in the current (v2, CRC-framed) format. A `&mut`
+/// reference works as the writer.
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError::Io`] on write failures.
 pub fn save<W: Write>(net: &Network, mut w: W) -> Result<(), CheckpointError> {
+    let payload = body_bytes(net)?;
     w.write_all(MAGIC)?;
     write_u32(&mut w, VERSION)?;
-    write_u64(&mut w, net.layers().len() as u64)?;
+    write_u64(&mut w, payload.len() as u64)?;
+    write_u32(&mut w, crc32(&payload))?;
+    w.write_all(&payload)?;
+    Ok(())
+}
+
+/// Serialises `net` to an in-memory v2 checkpoint. Two structurally
+/// identical networks produce identical bytes, so this doubles as the
+/// bit-identity comparator in the crash-safety tests.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] (never for the in-memory writer in
+/// practice).
+pub fn to_bytes(net: &Network) -> Result<Vec<u8>, CheckpointError> {
+    let mut buf = Vec::new();
+    save(net, &mut buf)?;
+    Ok(buf)
+}
+
+/// Saves `net` in the legacy unframed v1 format (no checksum). Kept so
+/// compatibility tests can prove v1 streams remain loadable; new code
+/// should use [`save`].
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on write failures.
+pub fn save_v1<W: Write>(net: &Network, mut w: W) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION_V1)?;
+    save_body(net, &mut w)
+}
+
+fn save_body<W: Write>(net: &Network, w: &mut W) -> Result<(), CheckpointError> {
+    write_u64(w, net.layers().len() as u64)?;
     for layer in net.layers() {
-        save_layer(layer, &mut w)?;
+        save_layer(layer, w)?;
     }
     Ok(())
 }
 
-/// Loads a network from `r`. A `&mut` reference or a byte slice works as
-/// the reader.
+fn body_bytes(net: &Network) -> Result<Vec<u8>, CheckpointError> {
+    let mut payload = Vec::new();
+    save_body(net, &mut payload)?;
+    Ok(payload)
+}
+
+/// Loads a network from `r` (v2 with CRC validation, or legacy v1). A
+/// `&mut` reference or a byte slice works as the reader.
 ///
 /// # Errors
 ///
 /// Returns [`CheckpointError::BadMagic`] /
 /// [`CheckpointError::UnsupportedVersion`] /
-/// [`CheckpointError::Corrupt`] for malformed input and propagates I/O
-/// errors.
+/// [`CheckpointError::Corrupt`] for malformed input,
+/// [`CheckpointError::ChecksumMismatch`] when the v2 payload fails CRC
+/// validation, and propagates I/O errors.
 pub fn load<R: Read>(mut r: R) -> Result<Network, CheckpointError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -142,10 +254,36 @@ pub fn load<R: Read>(mut r: R) -> Result<Network, CheckpointError> {
         return Err(CheckpointError::BadMagic);
     }
     let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(CheckpointError::UnsupportedVersion { found: version });
+    match version {
+        VERSION_V1 => load_body(&mut r),
+        VERSION => {
+            let len = read_u64(&mut r)?;
+            if len > MAX_PAYLOAD {
+                return Err(CheckpointError::Corrupt {
+                    reason: format!("implausible payload length {len}"),
+                });
+            }
+            let expected = read_u32(&mut r)?;
+            let payload = read_chunked(&mut r, len as usize)?;
+            let found = crc32(&payload);
+            if found != expected {
+                return Err(CheckpointError::ChecksumMismatch { expected, found });
+            }
+            let mut slice: &[u8] = &payload;
+            let net = load_body(&mut slice)?;
+            if !slice.is_empty() {
+                return Err(CheckpointError::Corrupt {
+                    reason: format!("{} trailing payload bytes", slice.len()),
+                });
+            }
+            Ok(net)
+        }
+        found => Err(CheckpointError::UnsupportedVersion { found }),
     }
-    let count = read_u64(&mut r)? as usize;
+}
+
+fn load_body<R: Read>(r: &mut R) -> Result<Network, CheckpointError> {
+    let count = read_u64(r)?;
     if count > 1_000_000 {
         return Err(CheckpointError::Corrupt {
             reason: format!("implausible layer count {count}"),
@@ -153,9 +291,26 @@ pub fn load<R: Read>(mut r: R) -> Result<Network, CheckpointError> {
     }
     let mut net = Network::new();
     for _ in 0..count {
-        net.push(load_layer(&mut r)?);
+        net.push(load_layer(r)?);
     }
     Ok(net)
+}
+
+/// Reads exactly `len` bytes in bounded chunks, so a hostile length
+/// field cannot trigger a huge allocation before the (truncated) stream
+/// runs dry.
+fn read_chunked<R: Read>(r: &mut R, len: usize) -> Result<Vec<u8>, CheckpointError> {
+    const CHUNK: usize = 1 << 16;
+    let mut out = Vec::new();
+    let mut buf = [0u8; CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK);
+        r.read_exact(&mut buf[..take])?;
+        out.extend_from_slice(&buf[..take]);
+        remaining -= take;
+    }
+    Ok(out)
 }
 
 fn save_layer<W: Write>(layer: &Layer, w: &mut W) -> Result<(), CheckpointError> {
@@ -321,17 +476,33 @@ fn read_tensor<R: Read>(r: &mut R) -> Result<Tensor, CheckpointError> {
         }
         shape.push(d);
     }
-    let numel: usize = shape.iter().product();
-    if numel > 1 << 30 {
-        return Err(CheckpointError::Corrupt {
-            reason: format!("implausible element count {numel}"),
-        });
-    }
-    let mut data = vec![0f32; numel];
-    let mut buf = [0u8; 4];
-    for v in &mut data {
-        r.read_exact(&mut buf)?;
-        *v = f32::from_le_bytes(buf);
+    // checked_mul: eight 2^28 dimensions would overflow a plain product
+    // (a panic in debug, silent wraparound in release).
+    let numel = shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .filter(|&n| n <= 1 << 30)
+        .ok_or_else(|| CheckpointError::Corrupt {
+            reason: format!("implausible element count for shape {shape:?}"),
+        })?;
+    // Incremental reads keep the allocation bounded by the bytes the
+    // stream actually contains, not by the hostile length field.
+    const CHUNK: usize = 4096;
+    let mut data: Vec<f32> = Vec::new();
+    let mut buf = [0u8; CHUNK * 4];
+    let mut remaining = numel;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK);
+        r.read_exact(&mut buf[..take * 4])?;
+        for i in 0..take {
+            data.push(f32::from_le_bytes([
+                buf[i * 4],
+                buf[i * 4 + 1],
+                buf[i * 4 + 2],
+                buf[i * 4 + 3],
+            ]));
+        }
+        remaining -= take;
     }
     Tensor::from_vec(shape, data).map_err(|e| CheckpointError::Corrupt {
         reason: e.to_string(),
@@ -353,11 +524,19 @@ fn read_f64_slice<R: Read>(r: &mut R) -> Result<Vec<f64>, CheckpointError> {
             reason: format!("implausible slice length {len}"),
         });
     }
-    let mut out = vec![0f64; len];
-    let mut buf = [0u8; 8];
-    for v in &mut out {
-        r.read_exact(&mut buf)?;
-        *v = f64::from_le_bytes(buf);
+    const CHUNK: usize = 2048;
+    let mut out: Vec<f64> = Vec::new();
+    let mut buf = [0u8; CHUNK * 8];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK);
+        r.read_exact(&mut buf[..take * 8])?;
+        for i in 0..take {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[i * 8..i * 8 + 8]);
+            out.push(f64::from_le_bytes(b));
+        }
+        remaining -= take;
     }
     Ok(out)
 }
@@ -476,9 +655,91 @@ mod tests {
     #[test]
     fn unknown_tag_detected() {
         let mut buf = Vec::new();
-        save(&full_net(), &mut buf).unwrap();
-        // First layer tag sits right after magic+version+count.
+        save_v1(&full_net(), &mut buf).unwrap();
+        // In the unframed v1 stream the first layer tag sits right after
+        // magic+version+count.
         buf[16] = 200;
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn v1_streams_remain_loadable() {
+        let net = full_net();
+        let mut v1 = Vec::new();
+        save_v1(&net, &mut v1).unwrap();
+        assert_eq!(u32::from_le_bytes([v1[4], v1[5], v1[6], v1[7]]), 1);
+        let restored = load(v1.as_slice()).unwrap();
+        assert_eq!(restored.num_params(), net.num_params());
+        // Same weights as a v2 round trip.
+        assert_eq!(
+            to_bytes(&restored).unwrap(),
+            to_bytes(&load(to_bytes(&net).unwrap().as_slice()).unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn bitflip_anywhere_in_payload_is_rejected_by_crc() {
+        let buf = to_bytes(&full_net()).unwrap();
+        let header = 4 + 4 + 8 + 4; // magic, version, len, crc
+        for pos in [header, header + 37, buf.len() / 2, buf.len() - 1] {
+            let mut corrupted = buf.clone();
+            corrupted[pos] ^= 0x10;
+            assert!(
+                matches!(
+                    load(corrupted.as_slice()),
+                    Err(CheckpointError::ChecksumMismatch { .. })
+                ),
+                "flip at {pos} must fail CRC"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_payload_bytes_detected() {
+        let net = full_net();
+        let mut payload = Vec::new();
+        save_body(&net, &mut payload).unwrap();
+        payload.push(0); // one stray byte inside the checksummed frame
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(matches!(
+            load(buf.as_slice()),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_length_fields_fail_without_huge_allocation() {
+        // v2 header claiming a 1 GiB payload over a 3-byte stream: the
+        // chunked reader must fail on EOF long before 1 GiB.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(1u64 << 30).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert!(matches!(load(buf.as_slice()), Err(CheckpointError::Io(_))));
+
+        // Shape whose element product overflows usize must be rejected,
+        // not panic.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes()); // one layer
+        payload.push(TAG_LINEAR);
+        payload.extend_from_slice(&8u32.to_le_bytes()); // ndim 8
+        for _ in 0..8 {
+            payload.extend_from_slice(&(1u64 << 28).to_le_bytes());
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION_V1.to_le_bytes());
+        buf.extend_from_slice(&payload);
         assert!(matches!(
             load(buf.as_slice()),
             Err(CheckpointError::Corrupt { .. })

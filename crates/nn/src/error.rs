@@ -32,6 +32,17 @@ pub enum NnError {
         /// Human-readable description.
         reason: String,
     },
+    /// Training hit a non-finite loss or gradient and the configured
+    /// [`FaultPolicy`](crate::FaultPolicy) could not (or would not)
+    /// recover.
+    NumericFault {
+        /// What went non-finite (`"loss"` or `"grad"`).
+        what: &'static str,
+        /// Epoch in which the fault occurred (0-based).
+        epoch: usize,
+        /// Batch within the epoch (0-based).
+        batch: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -48,6 +59,11 @@ impl fmt::Display for NnError {
             }
             NnError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             NnError::BadLabels { reason } => write!(f, "bad labels: {reason}"),
+            NnError::NumericFault { what, epoch, batch } => write!(
+                f,
+                "numeric fault: non-finite {what} at epoch {epoch}, batch {batch} \
+                 (recovery budget exhausted or policy is abort)"
+            ),
         }
     }
 }

@@ -46,6 +46,7 @@ mod metrics;
 mod network;
 mod optimizer;
 mod regularizer;
+pub mod rundir;
 mod train;
 
 pub use error::NnError;
@@ -55,4 +56,5 @@ pub use metrics::{accuracy, ConfusionMatrix};
 pub use network::Network;
 pub use optimizer::{Adam, Sgd};
 pub use regularizer::{kernel_gram_residual_grad, kernel_gram_residual_sq, RegularizerConfig};
-pub use train::{evaluate, fit, gather_batch, EpochStats, TrainConfig};
+pub use rundir::{RunDir, RunDirError};
+pub use train::{evaluate, fit, gather_batch, EpochStats, FaultPolicy, TrainConfig};

@@ -3,6 +3,35 @@ use cap_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+/// What [`fit`] does when a loss or gradient goes non-finite (NaN/Inf).
+///
+/// Divergence from a too-hot learning rate or a poisoned batch would
+/// otherwise silently destroy the network: one NaN gradient makes every
+/// weight NaN after the next optimizer step, and the run only notices
+/// at evaluation time. Every policy counts faults in
+/// `nn.numeric_faults_total` and emits a `numeric_fault` event; the
+/// recovering policies carry a bounded retry budget so a persistently
+/// broken run still fails instead of spinning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Fail the `fit` call immediately with [`NnError::NumericFault`].
+    #[default]
+    Abort,
+    /// Drop the offending batch (gradients are zeroed, no optimizer
+    /// step) and continue; after `budget` skipped batches, abort.
+    SkipBatch {
+        /// Maximum number of batches that may be skipped.
+        budget: u32,
+    },
+    /// Restore the last good snapshot (taken at each epoch boundary),
+    /// clear optimizer momentum, halve the learning rate and retry the
+    /// epoch; after `budget` restores, abort.
+    RestoreAndHalveLr {
+        /// Maximum number of restore-and-retry cycles.
+        budget: u32,
+    },
+}
+
 /// Hyper-parameters for a training run with the paper's modified cost
 /// (Eq. 1): cross-entropy plus L1 and orthogonality regularisation.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +52,8 @@ pub struct TrainConfig {
     pub regularizer: RegularizerConfig,
     /// Seed for the per-epoch shuffle.
     pub shuffle_seed: u64,
+    /// Reaction to non-finite losses or gradients.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for TrainConfig {
@@ -36,6 +67,7 @@ impl Default for TrainConfig {
             lr_decay: 0.95,
             regularizer: RegularizerConfig::paper(),
             shuffle_seed: 0x5eed,
+            fault_policy: FaultPolicy::Abort,
         }
     }
 }
@@ -114,37 +146,126 @@ pub fn fit(
     let mut order: Vec<usize> = (0..labels.len()).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.shuffle_seed);
     let mut history = Vec::with_capacity(cfg.epochs);
+    let (mut skip_budget, mut restore_budget) = match cfg.fault_policy {
+        FaultPolicy::Abort => (0u32, 0u32),
+        FaultPolicy::SkipBatch { budget } => (budget, 0),
+        FaultPolicy::RestoreAndHalveLr { budget } => (0, budget),
+    };
+    // Last-good snapshot for RestoreAndHalveLr, refreshed at each epoch
+    // boundary (the most recent state known to predate the fault).
+    let mut snapshot: Option<Network> = None;
+    // Training steps executed in this `fit` call (1-based), the clock
+    // for the `nan_grad_at=step:N` fault directive.
+    let mut global_step: u64 = 0;
     for epoch in 0..cfg.epochs {
         let _epoch_span = cap_obs::span!("nn.fit.epoch");
         let epoch_start = std::time::Instant::now();
-        let epoch_lr = f64::from(opt.lr());
         order.shuffle(&mut rng);
-        let mut epoch_loss = 0.0f64;
-        let mut batches = 0usize;
-        let mut correct = 0usize;
-        for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let _batch_span = cap_obs::span!("nn.fit.batch");
-            let x = gather_batch(images, chunk)?;
-            let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-            let logits = net.forward(&x, true)?;
-            let out = loss_fn.forward(&logits, &y)?;
-            let preds = cap_tensor::argmax_rows(&logits)?;
-            correct += preds.iter().zip(y.iter()).filter(|(p, l)| p == l).count();
-            net.zero_grad();
-            net.backward(&out.grad)?;
-            cfg.regularizer.add_gradients(net)?;
-            opt.step(net);
-            epoch_loss += out.value + cfg.regularizer.penalty(net);
-            batches += 1;
-            if cap_obs::detail() {
-                cap_obs::emit(
-                    cap_obs::Event::new("batch")
-                        .u64("epoch", epoch as u64)
-                        .u64("batch", (batches - 1) as u64)
-                        .f64("loss", out.value),
-                );
-            }
+        if matches!(cfg.fault_policy, FaultPolicy::RestoreAndHalveLr { .. }) {
+            snapshot = Some(net.clone());
         }
+        // The loop retries the whole epoch after a restore; every other
+        // path leaves it on the first pass.
+        let (epoch_loss, batches, correct, epoch_lr) = loop {
+            let epoch_lr = f64::from(opt.lr());
+            let mut epoch_loss = 0.0f64;
+            let mut batches = 0usize;
+            let mut correct = 0usize;
+            let mut restored = false;
+            for (batch_idx, chunk) in order.chunks(cfg.batch_size.max(1)).enumerate() {
+                let _batch_span = cap_obs::span!("nn.fit.batch");
+                global_step += 1;
+                let x = gather_batch(images, chunk)?;
+                let y: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+                let logits = net.forward(&x, true)?;
+                let out = loss_fn.forward(&logits, &y)?;
+                let mut fault: Option<&'static str> = None;
+                if !out.value.is_finite() {
+                    fault = Some("loss");
+                } else {
+                    net.zero_grad();
+                    net.backward(&out.grad)?;
+                    cfg.regularizer.add_gradients(net)?;
+                    if cap_faults::nan_grad_at_step(global_step) {
+                        poison_first_gradient(net);
+                    }
+                    if !gradients_finite(net) {
+                        fault = Some("grad");
+                    }
+                }
+                if let Some(what) = fault {
+                    cap_obs::counter_add("nn.numeric_faults_total", 1);
+                    cap_obs::emit(
+                        cap_obs::Event::new("numeric_fault")
+                            .str("what", what)
+                            .u64("epoch", epoch as u64)
+                            .u64("batch", batch_idx as u64)
+                            .str("policy", format!("{:?}", cfg.fault_policy)),
+                    );
+                    match cfg.fault_policy {
+                        FaultPolicy::Abort => {
+                            return Err(NnError::NumericFault {
+                                what,
+                                epoch,
+                                batch: batch_idx,
+                            })
+                        }
+                        FaultPolicy::SkipBatch { .. } => {
+                            if skip_budget == 0 {
+                                return Err(NnError::NumericFault {
+                                    what,
+                                    epoch,
+                                    batch: batch_idx,
+                                });
+                            }
+                            skip_budget -= 1;
+                            cap_obs::counter_add("nn.fault_skipped_batches_total", 1);
+                            net.zero_grad();
+                            continue;
+                        }
+                        FaultPolicy::RestoreAndHalveLr { .. } => {
+                            if restore_budget == 0 {
+                                return Err(NnError::NumericFault {
+                                    what,
+                                    epoch,
+                                    batch: batch_idx,
+                                });
+                            }
+                            restore_budget -= 1;
+                            cap_obs::counter_add("nn.fault_restores_total", 1);
+                            *net = snapshot.as_ref().expect("snapshot taken above").clone();
+                            let halved = opt.lr() * 0.5;
+                            // Momentum velocities predate the restore
+                            // point, so they are cleared with the reset.
+                            opt.reset();
+                            opt.set_lr(halved);
+                            eprintln!(
+                                "cap-nn: non-finite {what} at epoch {epoch}, batch {batch_idx}; \
+                                 restored epoch snapshot, lr halved to {halved}"
+                            );
+                            restored = true;
+                            break;
+                        }
+                    }
+                }
+                let preds = cap_tensor::argmax_rows(&logits)?;
+                correct += preds.iter().zip(y.iter()).filter(|(p, l)| p == l).count();
+                opt.step(net);
+                epoch_loss += out.value + cfg.regularizer.penalty(net);
+                batches += 1;
+                if cap_obs::detail() {
+                    cap_obs::emit(
+                        cap_obs::Event::new("batch")
+                            .u64("epoch", epoch as u64)
+                            .u64("batch", batch_idx as u64)
+                            .f64("loss", out.value),
+                    );
+                }
+            }
+            if !restored {
+                break (epoch_loss, batches, correct, epoch_lr);
+            }
+        };
         opt.set_lr(opt.lr() * cfg.lr_decay);
         let stats = EpochStats {
             loss: epoch_loss / batches.max(1) as f64,
@@ -170,6 +291,31 @@ pub fn fit(
         history.push(stats);
     }
     Ok(history)
+}
+
+/// Whether every accumulated parameter gradient is finite.
+fn gradients_finite(net: &mut Network) -> bool {
+    let mut finite = true;
+    net.visit_params_mut(&mut |_, g| {
+        if finite && !g.data().iter().all(|v| v.is_finite()) {
+            finite = false;
+        }
+    });
+    finite
+}
+
+/// Fault-injection support: overwrites the first parameter gradient
+/// with NaN, as a diverging batch would.
+fn poison_first_gradient(net: &mut Network) {
+    let mut done = false;
+    net.visit_params_mut(&mut |_, g| {
+        if !done {
+            if let Some(v) = g.data_mut().first_mut() {
+                *v = f32::NAN;
+                done = true;
+            }
+        }
+    });
 }
 
 /// Evaluates top-1 accuracy of `net` on `(images, labels)` in eval mode.
@@ -354,6 +500,134 @@ mod tests {
         let cfg = TrainConfig::default();
         assert!(fit(&mut net, &images, &[0, 1], &cfg).is_err());
         assert!(evaluate(&mut net, &images, &[], 4).is_err());
+    }
+
+    /// Counter value from the global registry, 0 when absent.
+    fn counter(name: &str) -> u64 {
+        cap_obs::registry()
+            .snapshot()
+            .into_iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, m)| match m {
+                cap_obs::Metric::Counter(c) => c,
+                _ => 0,
+            })
+    }
+
+    #[test]
+    fn nan_grad_with_abort_policy_fails_fast() {
+        let _guard = cap_obs::test_lock();
+        cap_obs::reset();
+        cap_obs::enable();
+        cap_faults::set_spec(Some("nan_grad_at=step:2")).unwrap();
+        let (mut net, images, labels) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 8,
+            regularizer: RegularizerConfig::none(),
+            ..TrainConfig::default()
+        };
+        let err = fit(&mut net, &images, &labels, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            NnError::NumericFault {
+                what: "grad",
+                epoch: 0,
+                batch: 1
+            }
+        );
+        assert_eq!(counter("nn.numeric_faults_total"), 1);
+        cap_faults::set_spec(None).unwrap();
+        cap_obs::disable();
+        cap_obs::reset();
+    }
+
+    #[test]
+    fn nan_grad_with_skip_policy_drops_batch_and_trains_on() {
+        let _guard = cap_obs::test_lock();
+        cap_obs::reset();
+        cap_obs::enable();
+        cap_faults::set_spec(Some("nan_grad_at=step:3")).unwrap();
+        let (mut net, images, labels) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            lr: 0.05,
+            regularizer: RegularizerConfig::none(),
+            fault_policy: FaultPolicy::SkipBatch { budget: 2 },
+            ..TrainConfig::default()
+        };
+        let history = fit(&mut net, &images, &labels, &cfg).unwrap();
+        assert_eq!(history.len(), 10);
+        assert_eq!(counter("nn.numeric_faults_total"), 1);
+        assert_eq!(counter("nn.fault_skipped_batches_total"), 1);
+        // The model survived the poisoned batch: no NaN anywhere.
+        let mut all_finite = true;
+        net.visit_params_mut(&mut |w, _| {
+            all_finite &= w.data().iter().all(|v| v.is_finite());
+        });
+        assert!(all_finite, "skip policy must keep weights finite");
+        let acc = evaluate(&mut net, &images, &labels, 8).unwrap();
+        assert!(acc > 0.9, "accuracy {acc}");
+        cap_faults::set_spec(None).unwrap();
+        cap_obs::disable();
+        cap_obs::reset();
+    }
+
+    #[test]
+    fn nan_grad_with_restore_policy_halves_lr_and_recovers() {
+        let _guard = cap_obs::test_lock();
+        cap_obs::reset();
+        cap_obs::enable();
+        cap_faults::set_spec(Some("nan_grad_at=step:6")).unwrap();
+        let (mut net, images, labels) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 8,
+            lr: 0.04,
+            lr_decay: 1.0,
+            regularizer: RegularizerConfig::none(),
+            fault_policy: FaultPolicy::RestoreAndHalveLr { budget: 2 },
+            ..TrainConfig::default()
+        };
+        // Step 6 is batch 1 of epoch 1 (4 batches per epoch): the retry
+        // replays epoch 1 from its boundary snapshot at lr 0.02.
+        let history = fit(&mut net, &images, &labels, &cfg).unwrap();
+        assert_eq!(history.len(), 3);
+        assert_eq!(counter("nn.fault_restores_total"), 1);
+        assert!((history[0].lr - 0.04).abs() < 1e-9);
+        assert!(
+            (history[1].lr - 0.02).abs() < 1e-9,
+            "epoch stats must report the halved lr, got {}",
+            history[1].lr
+        );
+        let mut all_finite = true;
+        net.visit_params_mut(&mut |w, _| {
+            all_finite &= w.data().iter().all(|v| v.is_finite());
+        });
+        assert!(all_finite, "restore policy must keep weights finite");
+        cap_faults::set_spec(None).unwrap();
+        cap_obs::disable();
+        cap_obs::reset();
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_fault() {
+        let _guard = cap_obs::test_lock();
+        cap_faults::set_spec(Some("nan_grad_at=step:1")).unwrap();
+        let (mut net, images, labels) = toy_problem();
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            regularizer: RegularizerConfig::none(),
+            fault_policy: FaultPolicy::SkipBatch { budget: 0 },
+            ..TrainConfig::default()
+        };
+        assert!(matches!(
+            fit(&mut net, &images, &labels, &cfg),
+            Err(NnError::NumericFault { what: "grad", .. })
+        ));
+        cap_faults::set_spec(None).unwrap();
     }
 
     #[test]

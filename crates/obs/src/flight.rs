@@ -281,13 +281,15 @@ pub fn export_chrome_trace() -> String {
     out
 }
 
-/// Writes [`export_chrome_trace`] to `path`.
+/// Writes [`export_chrome_trace`] to `path` atomically (temp file +
+/// rename via [`crate::fsx::atomic_write`]), so a crash mid-dump can
+/// never leave a torn trace that chrome://tracing half-parses.
 ///
 /// # Errors
 ///
 /// Returns the formatted I/O error when the file cannot be written.
 pub fn dump_to_file(path: &str) -> Result<(), String> {
-    std::fs::write(path, export_chrome_trace()).map_err(|e| format!("write {path}: {e}"))
+    crate::fsx::atomic_write_str(path, export_chrome_trace().as_bytes())
 }
 
 #[cfg(test)]

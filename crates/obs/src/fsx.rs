@@ -1,0 +1,120 @@
+//! Crash-safe file writes shared by every dump/result writer in the
+//! workspace.
+//!
+//! A plain `std::fs::write` interrupted by a crash can leave a torn
+//! file that a later tool half-parses. [`atomic_write`] closes that
+//! window: the bytes go to a temporary file in the destination
+//! directory, are fsync'd, and the temporary is renamed over the
+//! destination — readers observe either the old content or the new,
+//! never a prefix.
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter so concurrent writers of the same destination
+/// never collide on a temporary name.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` atomically: temp file in the same
+/// directory, `fsync`, rename over the destination, then a best-effort
+/// `fsync` of the directory so the rename itself is durable.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; the temporary file is removed on
+/// failure (best effort).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("atomic_write: {} has no file name", path.display()),
+            )
+        })?
+        .to_os_string();
+    let mut tmp_name = file_name;
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let tmp = dir.join(tmp_name);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Durability of the rename needs the directory entry flushed too;
+    // not all platforms/filesystems support fsync on a directory, so
+    // failures here are ignored.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// [`atomic_write`] with a `String` error for callers in the
+/// `Result<_, String>` style used by the dump paths.
+///
+/// # Errors
+///
+/// Returns `"write <path>: <io error>"`.
+pub fn atomic_write_str(path: &str, bytes: &[u8]) -> Result<(), String> {
+    atomic_write(Path::new(path), bytes).map_err(|e| format!("write {path}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("cap_fsx_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = tmp_dir("basic");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temporary litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_leaves_destination_untouched() {
+        let dir = tmp_dir("fail");
+        let path = dir.join("out.json");
+        atomic_write(&path, b"good").unwrap();
+        // A directory in the way of the temp-file rename target is the
+        // easiest portable failure: make the destination a directory.
+        let blocked = dir.join("blocked");
+        std::fs::create_dir_all(blocked.join("x")).unwrap();
+        assert!(atomic_write(&blocked, b"new").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"good");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -57,6 +57,7 @@
 
 pub mod expo;
 pub mod flight;
+pub mod fsx;
 pub mod json;
 pub mod metrics;
 pub mod serve;

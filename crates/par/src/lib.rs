@@ -342,7 +342,16 @@ impl Pool {
                 let task: Job = unsafe { std::mem::transmute::<ScopedTask<'scope>, Job>(task) };
                 let latch = Arc::clone(&latch);
                 st.queue.push_back(Box::new(move || {
-                    let outcome = catch_unwind(AssertUnwindSafe(task));
+                    // The fault hook runs INSIDE the catch_unwind so an
+                    // injected panic takes the same recovery path as a
+                    // real task panic: latch completion, batch drain,
+                    // resume_unwind at the submitter. Outside it, the
+                    // worker would die without completing the latch and
+                    // the batch would deadlock.
+                    let outcome = catch_unwind(AssertUnwindSafe(move || {
+                        cap_faults::maybe_panic_task();
+                        task();
+                    }));
                     latch.complete(outcome.err());
                 }));
             }

@@ -1,0 +1,31 @@
+//! Worker-panic recovery, driven by the `panic_worker` fault: an
+//! injected panic inside a pooled task must propagate to the submitter
+//! like any task panic — after the batch drains, with the pool fully
+//! usable afterwards.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[test]
+fn injected_worker_panic_propagates_and_pool_survives() {
+    cap_par::set_threads(4);
+    cap_faults::set_spec(Some("panic_worker=3")).unwrap();
+
+    let completed = AtomicU64::new(0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        cap_par::parallel_map(8, |i| {
+            completed.fetch_add(1, Ordering::Relaxed);
+            i * 2
+        })
+    }));
+    assert!(
+        result.is_err(),
+        "the injected panic must reach the submitter"
+    );
+    // One-shot: the injected fault is consumed, not sticky. The pool
+    // keeps its workers and the next batch runs normally.
+    let out = cap_par::parallel_map(16, |i| i + 1);
+    assert_eq!(out, (1..=16).collect::<Vec<_>>());
+
+    cap_faults::set_spec(None).unwrap();
+}

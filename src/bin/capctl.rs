@@ -1,14 +1,20 @@
-//! `capctl` — command-line inspector for `.capn` network checkpoints.
+//! `capctl` — command-line driver for `.capn` network checkpoints and
+//! crash-safe pruning runs.
 //!
 //! ```text
-//! capctl [--trace <spec>] info  <file>   print layer-by-layer structure and totals
-//! capctl [--trace <spec>] flops <file> <C> <H> <W>   cost analysis at an input size
+//! capctl info  <file>                 print layer-by-layer structure and totals
+//! capctl flops <file> <C> <H> <W>     cost analysis at an input size
+//! capctl prune --run-dir <dir> [--resume] [--iters N] [--seed S]
+//!              [--out <file>] [--csv <file>]
+//!                                     run (or resume) a durable pruning run on
+//!                                     the built-in synthetic benchmark
 //! ```
 //!
-//! Tracing: `--trace pretty` narrates events on stderr, `--trace
-//! jsonl:<path>` writes machine-readable JSON lines (append `,detail`
-//! for per-span events). The `CAP_TRACE` environment variable accepts
-//! the same grammar:
+//! All commands accept `[--trace <spec>] [--serve-metrics <addr>]`
+//! before the subcommand. Tracing: `--trace pretty` narrates events on
+//! stderr, `--trace jsonl:<path>` writes machine-readable JSON lines
+//! (append `,detail` for per-span events). The `CAP_TRACE` environment
+//! variable accepts the same grammar:
 //!
 //! ```text
 //! CAP_TRACE=jsonl:run.jsonl cargo run --bin capctl -- info model.capn
@@ -17,11 +23,125 @@
 //! Live telemetry: `--serve-metrics <addr>` (or `CAP_METRICS_ADDR`)
 //! starts the cap-obs HTTP server exposing `/metrics`, `/healthz`,
 //! `/report` and `/trace` for the duration of the command.
+//!
+//! # Exit codes
+//!
+//! Each failure class maps to a distinct code so scripts and the CI
+//! crash-recovery job can tell a usage mistake from a corrupt
+//! checkpoint:
+//!
+//! | code | meaning                                         |
+//! |------|-------------------------------------------------|
+//! | 0    | success                                         |
+//! | 2    | usage error (bad flags/arguments)               |
+//! | 3    | file I/O failure                                |
+//! | 4    | checkpoint/run-dir failure (corrupt, missing)   |
+//! | 5    | pruning/analysis failure                        |
+//! | 6    | dataset failure                                 |
+//! | 7    | telemetry initialisation failure                |
+//! | 8    | training failure (incl. numeric faults)         |
 
-use cap_core::analyze_network;
-use cap_nn::layer::Layer;
-use cap_nn::{checkpoint, Network};
+use cap_core::{analyze_network, ClassAwarePruner, PruneConfig, PruneError, PruneStrategy};
+use cap_data::{DataError, DatasetSpec, SyntheticDataset};
+use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, Relu};
+use cap_nn::{checkpoint, fit, Network, NnError, RunDir, RunDirError, TrainConfig};
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
 use std::process::ExitCode;
+
+/// Everything that can fail, with one exit code per class (see the
+/// module docs). `Display` prints only this level's context; `main`
+/// walks [`Error::source`] for the cause chain.
+#[derive(Debug)]
+enum CtlError {
+    Usage(String),
+    Io {
+        context: String,
+        source: std::io::Error,
+    },
+    Checkpoint {
+        context: String,
+        source: checkpoint::CheckpointError,
+    },
+    RunDir {
+        context: String,
+        source: RunDirError,
+    },
+    Prune {
+        context: String,
+        source: PruneError,
+    },
+    Data {
+        context: String,
+        source: DataError,
+    },
+    Telemetry {
+        reason: String,
+    },
+    Train {
+        context: String,
+        source: NnError,
+    },
+}
+
+impl CtlError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CtlError::Usage(_) => 2,
+            CtlError::Io { .. } => 3,
+            CtlError::Checkpoint { .. } | CtlError::RunDir { .. } => 4,
+            CtlError::Prune { .. } => 5,
+            CtlError::Data { .. } => 6,
+            CtlError::Telemetry { .. } => 7,
+            CtlError::Train { .. } => 8,
+        }
+    }
+}
+
+impl fmt::Display for CtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtlError::Usage(msg) => write!(f, "{msg}"),
+            CtlError::Io { context, .. } => write!(f, "{context}"),
+            CtlError::Checkpoint { context, .. } => write!(f, "{context}"),
+            CtlError::RunDir { context, .. } => write!(f, "{context}"),
+            CtlError::Prune { context, .. } => write!(f, "{context}"),
+            CtlError::Data { context, .. } => write!(f, "{context}"),
+            CtlError::Telemetry { reason } => write!(f, "telemetry: {reason}"),
+            CtlError::Train { context, .. } => write!(f, "{context}"),
+        }
+    }
+}
+
+impl Error for CtlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CtlError::Usage(_) | CtlError::Telemetry { .. } => None,
+            CtlError::Io { source, .. } => Some(source),
+            CtlError::Checkpoint { source, .. } => Some(source),
+            CtlError::RunDir { source, .. } => Some(source),
+            CtlError::Prune { source, .. } => Some(source),
+            CtlError::Data { source, .. } => Some(source),
+            CtlError::Train { source, .. } => Some(source),
+        }
+    }
+}
+
+const USAGE: &str = "usage: capctl [--trace <spec>] [--serve-metrics <addr>] <command>\n\
+     commands:\n\
+       info <file>\n\
+       flops <file> <C> <H> <W>\n\
+       prune --run-dir <dir> [--resume] [--iters N] [--seed S] [--out <file>] [--csv <file>]";
+
+fn usage_err(detail: impl Into<String>) -> CtlError {
+    let detail = detail.into();
+    if detail.is_empty() {
+        CtlError::Usage(USAGE.to_string())
+    } else {
+        CtlError::Usage(format!("{detail}\n{USAGE}"))
+    }
+}
 
 fn describe(net: &Network) {
     println!(
@@ -66,23 +186,27 @@ fn describe(net: &Network) {
 /// argument list and initialises the observability layer: the sink from
 /// the spec (or `CAP_TRACE` when absent), the live telemetry server
 /// from the flag (or `CAP_METRICS_ADDR` when absent).
-fn init_trace(args: &mut Vec<String>) -> Result<(), String> {
-    let take = |args: &mut Vec<String>, flag: &str, what: &str| -> Result<Option<String>, String> {
-        match args.iter().position(|a| a == flag) {
-            Some(pos) if pos + 1 < args.len() => {
-                let value = args.remove(pos + 1);
-                args.remove(pos);
-                Ok(Some(value))
+fn init_trace(args: &mut Vec<String>) -> Result<(), CtlError> {
+    let take =
+        |args: &mut Vec<String>, flag: &str, what: &str| -> Result<Option<String>, CtlError> {
+            match args.iter().position(|a| a == flag) {
+                Some(pos) if pos + 1 < args.len() => {
+                    let value = args.remove(pos + 1);
+                    args.remove(pos);
+                    Ok(Some(value))
+                }
+                Some(_) => Err(usage_err(format!("{flag} requires {what}"))),
+                None => Ok(None),
             }
-            Some(_) => Err(format!("{flag} requires {what}")),
-            None => Ok(None),
-        }
-    };
+        };
     let spec = take(args, "--trace", "a spec (pretty | jsonl:<path>[,detail])")?;
     let serve = take(args, "--serve-metrics", "an address (e.g. 127.0.0.1:9184)")?;
-    let telemetry = cap_obs::init_telemetry(spec.as_deref())?;
+    let telemetry = cap_obs::init_telemetry(spec.as_deref())
+        .map_err(|reason| CtlError::Telemetry { reason })?;
     let bound = match serve {
-        Some(addr) => Some(cap_obs::serve::start_global(&addr)?),
+        Some(addr) => Some(
+            cap_obs::serve::start_global(&addr).map_err(|reason| CtlError::Telemetry { reason })?,
+        ),
         None => telemetry.serving,
     };
     if let Some(addr) = bound {
@@ -91,9 +215,174 @@ fn init_trace(args: &mut Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
-fn run() -> Result<(), String> {
+fn load_net(path: &str) -> Result<Network, CtlError> {
+    let file = std::fs::File::open(path).map_err(|source| CtlError::Io {
+        context: format!("open {path}"),
+        source,
+    })?;
+    checkpoint::load(std::io::BufReader::new(file)).map_err(|source| CtlError::Checkpoint {
+        context: format!("load {path}"),
+        source,
+    })
+}
+
+/// The small CIFAR-like network used by `capctl prune` (matching the
+/// framework's test topology so the run finishes in seconds).
+fn prune_demo_net(seed: u64) -> Network {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut net = Network::new();
+    net.push(Conv2d::new(3, 12, 3, 1, 1, false, &mut rng).expect("valid conv"));
+    net.push(BatchNorm2d::new(12).expect("valid bn"));
+    net.push(Relu::new());
+    net.push(Conv2d::new(12, 12, 3, 1, 1, false, &mut rng).expect("valid conv"));
+    net.push(BatchNorm2d::new(12).expect("valid bn"));
+    net.push(Relu::new());
+    net.push(GlobalAvgPool::new());
+    net.push(Linear::new(12, 10, &mut rng).expect("valid linear"));
+    net
+}
+
+fn cmd_prune(args: &[String]) -> Result<(), CtlError> {
+    let mut run_dir: Option<String> = None;
+    let mut resume = false;
+    let mut iters: usize = 3;
+    let mut seed: u64 = 33;
+    let mut out: Option<String> = None;
+    let mut csv: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage_err(format!("{flag} requires {what}")))
+        };
+        match flag.as_str() {
+            "--run-dir" => run_dir = Some(value("a directory")?),
+            "--resume" => resume = true,
+            "--iters" => {
+                iters = value("a count")?
+                    .parse()
+                    .map_err(|e| usage_err(format!("bad --iters: {e}")))?;
+            }
+            "--seed" => {
+                seed = value("a seed")?
+                    .parse()
+                    .map_err(|e| usage_err(format!("bad --seed: {e}")))?;
+            }
+            "--out" => out = Some(value("a file")?),
+            "--csv" => csv = Some(value("a file")?),
+            other => return Err(usage_err(format!("unknown prune flag {other:?}"))),
+        }
+    }
+    let run_dir = run_dir.ok_or_else(|| usage_err("prune requires --run-dir"))?;
+
+    let data = SyntheticDataset::generate(
+        &DatasetSpec::cifar10_like()
+            .with_image_size(8)
+            .with_counts(12, 4),
+    )
+    .map_err(|source| CtlError::Data {
+        context: "generate synthetic dataset".to_string(),
+        source,
+    })?;
+    let train_cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 20,
+        lr: 0.02,
+        ..TrainConfig::default()
+    };
+    let pruner = ClassAwarePruner::new(PruneConfig {
+        strategy: PruneStrategy::Percentage { fraction: 0.2 },
+        finetune: train_cfg,
+        max_iterations: iters,
+        accuracy_drop_limit: 1.0,
+        ..PruneConfig::default()
+    })
+    .map_err(|source| CtlError::Prune {
+        context: "invalid prune configuration".to_string(),
+        source,
+    })?;
+
+    let (net, outcome) = if resume {
+        let dir = RunDir::open(&run_dir).map_err(|source| CtlError::RunDir {
+            context: format!("open run dir {run_dir}"),
+            source,
+        })?;
+        eprintln!("resuming run in {run_dir}");
+        pruner
+            .resume(data.train(), data.test(), &dir)
+            .map_err(|source| CtlError::Prune {
+                context: format!("resume pruning run in {run_dir}"),
+                source,
+            })?
+    } else {
+        let dir = RunDir::create(&run_dir).map_err(|source| CtlError::RunDir {
+            context: format!("create run dir {run_dir}"),
+            source,
+        })?;
+        let mut net = prune_demo_net(seed);
+        fit(
+            &mut net,
+            data.train().images(),
+            data.train().labels(),
+            &train_cfg,
+        )
+        .map_err(|source| CtlError::Train {
+            context: "pre-train demo network".to_string(),
+            source,
+        })?;
+        let outcome = pruner
+            .run_with_dir(&mut net, data.train(), data.test(), &dir)
+            .map_err(|source| CtlError::Prune {
+                context: format!("pruning run in {run_dir}"),
+                source,
+            })?;
+        (net, outcome)
+    };
+
+    println!(
+        "stop: {:?} after {} iterations",
+        outcome.stop_reason,
+        outcome.iterations.len()
+    );
+    println!(
+        "accuracy {:.4} -> {:.4}, params {} -> {}, FLOPs {} -> {}",
+        outcome.baseline_accuracy,
+        outcome.final_accuracy,
+        outcome.baseline_cost.total_params,
+        outcome.final_cost.total_params,
+        outcome.baseline_cost.total_flops,
+        outcome.final_cost.total_flops
+    );
+    if let Some(path) = out {
+        let bytes = checkpoint::to_bytes(&net).map_err(|source| CtlError::Checkpoint {
+            context: format!("serialise final network for {path}"),
+            source,
+        })?;
+        cap_obs::fsx::atomic_write(std::path::Path::new(&path), &bytes).map_err(|source| {
+            CtlError::Io {
+                context: format!("write {path}"),
+                source,
+            }
+        })?;
+        println!("final network written to {path}");
+    }
+    if let Some(path) = csv {
+        cap_obs::fsx::atomic_write(
+            std::path::Path::new(&path),
+            outcome.iterations_csv().as_bytes(),
+        )
+        .map_err(|source| CtlError::Io {
+            context: format!("write {path}"),
+            source,
+        })?;
+        println!("iteration trajectory written to {path}");
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), CtlError> {
     let mut args: Vec<String> = std::env::args().collect();
-    let usage = "usage: capctl [--trace <spec>] [--serve-metrics <addr>] info <file> | capctl [--trace <spec>] [--serve-metrics <addr>] flops <file> <C> <H> <W>";
     init_trace(&mut args)?;
     let _span = cap_obs::span!("capctl.run");
     if let Some(cmd) = args.get(1) {
@@ -101,25 +390,28 @@ fn run() -> Result<(), String> {
     }
     match args.get(1).map(String::as_str) {
         Some("info") => {
-            let path = args.get(2).ok_or(usage)?;
-            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let net = checkpoint::load(std::io::BufReader::new(file))
-                .map_err(|e| format!("load {path}: {e}"))?;
+            let path = args
+                .get(2)
+                .ok_or_else(|| usage_err("info requires a file"))?;
+            let net = load_net(path)?;
             describe(&net);
             Ok(())
         }
         Some("flops") => {
             if args.len() < 6 {
-                return Err(usage.to_string());
+                return Err(usage_err("flops requires <file> <C> <H> <W>"));
             }
             let path = &args[2];
-            let parse = |s: &String| s.parse::<usize>().map_err(|e| format!("bad dim {s}: {e}"));
+            let parse = |s: &String| {
+                s.parse::<usize>()
+                    .map_err(|e| usage_err(format!("bad dim {s}: {e}")))
+            };
             let (c, h, w) = (parse(&args[3])?, parse(&args[4])?, parse(&args[5])?);
-            let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-            let net = checkpoint::load(std::io::BufReader::new(file))
-                .map_err(|e| format!("load {path}: {e}"))?;
-            let report =
-                analyze_network(&net, c, h, w).map_err(|e| format!("analysis failed: {e}"))?;
+            let net = load_net(path)?;
+            let report = analyze_network(&net, c, h, w).map_err(|source| CtlError::Prune {
+                context: format!("analyse {path}"),
+                source,
+            })?;
             println!("input [{c}, {h}, {w}]");
             println!("layer                    | FLOPs        | params");
             println!("-------------------------+--------------+--------");
@@ -132,7 +424,8 @@ fn run() -> Result<(), String> {
             );
             Ok(())
         }
-        _ => Err(usage.to_string()),
+        Some("prune") => cmd_prune(&args[2..]),
+        _ => Err(usage_err("")),
     }
 }
 
@@ -143,8 +436,13 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("{e}");
-            ExitCode::FAILURE
+            eprintln!("capctl: {e}");
+            let mut cause = e.source();
+            while let Some(c) = cause {
+                eprintln!("  caused by: {c}");
+                cause = c.source();
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

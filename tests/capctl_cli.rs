@@ -1,0 +1,86 @@
+//! Exit-code audit of the `capctl` binary: every failure class maps to
+//! its documented, distinct code, and the cause chain is printed.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn capctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_capctl"))
+        .args(args)
+        .output()
+        .expect("spawn capctl")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("capctl_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    assert_eq!(capctl(&[]).status.code(), Some(2));
+    assert_eq!(capctl(&["bogus"]).status.code(), Some(2));
+    assert_eq!(capctl(&["info"]).status.code(), Some(2));
+    assert_eq!(capctl(&["flops", "x.capn", "3"]).status.code(), Some(2));
+    assert_eq!(
+        capctl(&["prune"]).status.code(),
+        Some(2),
+        "--run-dir is required"
+    );
+    assert_eq!(
+        capctl(&["prune", "--run-dir", "d", "--iters", "zero"])
+            .status
+            .code(),
+        Some(2)
+    );
+    let out = capctl(&["bogus"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "stderr was: {stderr}");
+}
+
+#[test]
+fn missing_file_exits_3() {
+    let out = capctl(&["info", "/nonexistent/path/model.capn"]);
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("caused by:"),
+        "I/O failures must print the cause chain, got: {stderr}"
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_exits_4() {
+    let dir = scratch("corrupt");
+    let path = dir.join("garbage.capn");
+    std::fs::write(&path, b"CAPNgarbage-not-a-checkpoint").unwrap();
+    let out = capctl(&["info", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn run_dir_misuse_exits_4() {
+    let dir = scratch("rundir");
+    // Resuming a directory that holds no run.
+    let missing = dir.join("no_such_run");
+    let out = capctl(&["prune", "--run-dir", missing.to_str().unwrap(), "--resume"]);
+    assert_eq!(out.status.code(), Some(4));
+    // Starting a fresh run where one already exists.
+    let taken = dir.join("taken");
+    std::fs::create_dir_all(&taken).unwrap();
+    std::fs::write(taken.join("journal.jsonl"), "{}\n").unwrap();
+    let out = capctl(&["prune", "--run-dir", taken.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(4));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("caused by:"), "stderr was: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_trace_spec_exits_7() {
+    let out = capctl(&["--trace", "nonsense-spec", "info", "x.capn"]);
+    assert_eq!(out.status.code(), Some(7));
+}

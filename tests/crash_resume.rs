@@ -1,0 +1,160 @@
+//! Kill-and-resume proof: a `capctl prune` run killed mid-way (via the
+//! `crash_after_iter` fault, which calls `abort()` — the in-process
+//! stand-in for SIGKILL) and then resumed must produce **bit-identical
+//! final weights** and the same iteration trajectory as an
+//! uninterrupted run — at 1 and at 4 threads, and even when the newest
+//! surviving checkpoint has a flipped bit (CRC fallback).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn capctl(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_capctl"));
+    cmd.args(args).env_remove("CAP_FAULT");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("spawn capctl")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("crash_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// The CSV with the four wall-clock `secs_*` columns stripped — the
+/// only fields that legitimately differ between two identical runs.
+fn csv_without_timings(path: &Path) -> String {
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+        .lines()
+        .map(|l| l.split(',').take(8).collect::<Vec<_>>().join(","))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs reference / kill / resume at the given thread count and returns
+/// (final weights, trimmed CSV). When `corrupt_survivor` is set, the
+/// newest checkpoint surviving the crash gets one bit flipped before
+/// the resume, forcing the CRC fallback path.
+fn kill_and_resume(base: &Path, threads: &str, corrupt_survivor: bool) -> (Vec<u8>, String) {
+    let tag = if corrupt_survivor { "corrupt" } else { "plain" };
+    let run = base.join(format!("run_t{threads}_{tag}"));
+    let env_threads = [("CAP_THREADS", threads)];
+
+    // Uninterrupted reference.
+    let ref_dir = run.join("ref");
+    let ref_capn = run.join("ref.capn");
+    let ref_csv = run.join("ref.csv");
+    let out = capctl(
+        &[
+            "prune",
+            "--run-dir",
+            ref_dir.to_str().unwrap(),
+            "--iters",
+            "3",
+            "--out",
+            ref_capn.to_str().unwrap(),
+            "--csv",
+            ref_csv.to_str().unwrap(),
+        ],
+        &env_threads,
+    );
+    assert!(
+        out.status.success(),
+        "reference run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Same run, killed right after iteration 2 becomes durable.
+    let crash_dir = run.join("crashed");
+    let out = capctl(
+        &[
+            "prune",
+            "--run-dir",
+            crash_dir.to_str().unwrap(),
+            "--iters",
+            "3",
+        ],
+        &[
+            ("CAP_THREADS", threads),
+            ("CAP_FAULT", "crash_after_iter=2"),
+        ],
+    );
+    assert!(
+        !out.status.success(),
+        "the fault-injected run must die mid-way"
+    );
+    assert!(
+        crash_dir.join("ckpt").join("gen-000002.capn").exists(),
+        "iteration 2 must be durable before the crash fires"
+    );
+
+    if corrupt_survivor {
+        let victim = crash_dir.join("ckpt").join("gen-000002.capn");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&victim, &bytes).unwrap();
+    }
+
+    // Resume to completion.
+    let res_capn = run.join("resumed.capn");
+    let res_csv = run.join("resumed.csv");
+    let out = capctl(
+        &[
+            "prune",
+            "--run-dir",
+            crash_dir.to_str().unwrap(),
+            "--resume",
+            "--iters",
+            "3",
+            "--out",
+            res_capn.to_str().unwrap(),
+            "--csv",
+            res_csv.to_str().unwrap(),
+        ],
+        &env_threads,
+    );
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let ref_bytes = std::fs::read(&ref_capn).unwrap();
+    let res_bytes = std::fs::read(&res_capn).unwrap();
+    assert_eq!(
+        ref_bytes, res_bytes,
+        "resumed final weights differ from the uninterrupted run \
+         (threads={threads}, corrupt_survivor={corrupt_survivor})"
+    );
+    assert_eq!(
+        csv_without_timings(&ref_csv),
+        csv_without_timings(&res_csv),
+        "iteration trajectories diverge (threads={threads})"
+    );
+    (ref_bytes, csv_without_timings(&ref_csv))
+}
+
+#[test]
+fn killed_run_resumes_bit_identically_at_1_and_4_threads() {
+    let base = scratch("matrix");
+    let (w1, csv1) = kill_and_resume(&base, "1", false);
+    let (w4, csv4) = kill_and_resume(&base, "4", false);
+    // The cap-par determinism contract: the whole pipeline is bitwise
+    // reproducible across thread counts, so even the serial and the
+    // 4-thread runs agree.
+    assert_eq!(w1, w4, "final weights differ between 1 and 4 threads");
+    assert_eq!(csv1, csv4);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn resume_falls_back_past_bitflipped_checkpoint() {
+    let base = scratch("crc");
+    kill_and_resume(&base, "1", true);
+    let _ = std::fs::remove_dir_all(&base);
+}
