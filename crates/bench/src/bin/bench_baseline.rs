@@ -31,7 +31,7 @@ use cap_obs::json::{write_f64, write_str};
 use cap_tensor::{matmul, Tensor};
 use rand::SeedableRng;
 use std::hint::black_box;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 struct Options {
     smoke: bool,
@@ -110,7 +110,7 @@ struct Record {
 /// `max_iters` is hit, returning mean ns/iter.
 fn measure<F: FnMut()>(mut f: F, budget: Duration, max_iters: usize) -> f64 {
     f();
-    let start = Instant::now();
+    let start = cap_obs::clock::now();
     let mut iters = 0usize;
     loop {
         f();
@@ -468,7 +468,7 @@ fn run_obs_benches(opts: &Options) -> (Vec<ObsRecord>, f64, f64, usize) {
     let mut max_ns = 0.0f64;
     let mut body_len = 0usize;
     for _ in 0..scrapes {
-        let t = Instant::now();
+        let t = cap_obs::clock::now();
         let body = cap_obs::serve::http_get(addr, "/metrics").expect("scrape /metrics");
         let ns = t.elapsed().as_nanos() as f64;
         total_ns += ns;

@@ -22,7 +22,6 @@ use cap_core::{
 use cap_data::SyntheticDataset;
 use cap_nn::{RegularizerConfig, TrainConfig};
 use std::path::PathBuf;
-use std::time::Instant;
 
 type Result<T> = std::result::Result<T, Box<dyn std::error::Error>>;
 
@@ -70,7 +69,7 @@ impl Suite {
         strategy: PruneStrategy,
         reg: RegularizerConfig,
     ) -> Result<PipelineResult> {
-        let started = Instant::now();
+        let started = cap_obs::clock::now();
         let data = self.data(kind)?;
         let mut prepared =
             cap_bench::pretrain_cached(arch, kind, &data, &self.scale, reg, &self.cache)?;
@@ -123,7 +122,7 @@ fn main() -> Result<()> {
             .str("cache", cache.display().to_string()),
     );
     let suite = Suite { scale, cache };
-    let t0 = Instant::now();
+    let t0 = cap_obs::clock::now();
 
     // ---- Phase 1: the four paper-regularised pipelines (Table I core,
     // reused by Fig. 4, Fig. 6 and Fig. 7).
@@ -320,7 +319,7 @@ fn main() -> Result<()> {
         seed: suite.scale.seed,
     };
     for criterion in standard_criteria().iter_mut() {
-        let started = Instant::now();
+        let started = cap_obs::clock::now();
         let mut net = prepared.net.clone();
         let outcome = run_baseline(
             criterion.as_mut(),

@@ -447,7 +447,7 @@ impl ClassAwarePruner {
             // iteration is underway.
             cap_obs::gauge_set("core.prune.iteration", iteration as f64);
 
-            let t_score = std::time::Instant::now();
+            let t_score = cap_obs::clock::now();
             let (sites, scores, selection) = {
                 let _span = cap_obs::span!("core.prune.score");
                 let sites = find_prunable_sites(net);
@@ -461,7 +461,7 @@ impl ClassAwarePruner {
                 break;
             }
 
-            let t_surgery = std::time::Instant::now();
+            let t_surgery = cap_obs::clock::now();
             let snapshot = net.clone();
             {
                 let _span = cap_obs::span!("core.prune.surgery");
@@ -475,21 +475,21 @@ impl ClassAwarePruner {
             }
             let secs_surgery = t_surgery.elapsed().as_secs_f64();
 
-            let t_eval1 = std::time::Instant::now();
+            let t_eval1 = cap_obs::clock::now();
             let accuracy_after_prune = {
                 let _span = cap_obs::span!("core.prune.eval");
                 evaluate(net, test.images(), test.labels(), cfg.eval_batch)?
             };
             let mut secs_eval = t_eval1.elapsed().as_secs_f64();
 
-            let t_finetune = std::time::Instant::now();
+            let t_finetune = cap_obs::clock::now();
             {
                 let _span = cap_obs::span!("core.prune.finetune");
                 fit(net, train.images(), train.labels(), &cfg.finetune)?;
             }
             let secs_finetune = t_finetune.elapsed().as_secs_f64();
 
-            let t_eval2 = std::time::Instant::now();
+            let t_eval2 = cap_obs::clock::now();
             let accuracy_after_finetune = {
                 let _span = cap_obs::span!("core.prune.eval");
                 evaluate(net, test.images(), test.labels(), cfg.eval_batch)?

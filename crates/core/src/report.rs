@@ -67,7 +67,7 @@ impl ScoreHistogram {
         if t == 0 {
             0.0
         } else {
-            *self.counts.last().expect("non-empty bins") as f64 / t as f64
+            self.counts.last().map_or(0.0, |&c| c as f64 / t as f64)
         }
     }
 

@@ -1,0 +1,117 @@
+//! The `caplint.allow` baseline: pre-existing, reviewed violations
+//! carried explicitly so that *new* violations always fail.
+//!
+//! Format — one entry per line, `#` comments allowed:
+//!
+//! ```text
+//! R002 crates/obs/src/sink.rs 1 JSONL sink streams events; atomic_write would rewrite the file per event
+//! ```
+//!
+//! Fields: rule code, workspace-relative path, expected violation
+//! count, free-text justification (required). Count semantics make the
+//! baseline self-tightening: **more** hits than allowed ⇒ the file's
+//! violations are reported (someone added a new one); **fewer** hits
+//! than allowed ⇒ the entry is stale and reported so the baseline
+//! shrinks as debt is paid down.
+
+use crate::rules::RuleId;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule being allowed.
+    pub rule: RuleId,
+    /// Workspace-relative path the entry covers.
+    pub path: String,
+    /// Exact number of violations the baseline accepts in that file.
+    pub count: usize,
+    /// Why this violation is acceptable (mandatory).
+    pub justification: String,
+    /// 1-based line in the allow file (for stale reports).
+    pub line: usize,
+}
+
+/// Parses `caplint.allow` content.
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending line for
+/// malformed entries, unknown rule codes, zero counts, missing
+/// justifications, or duplicate `(rule, path)` pairs.
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut out: Vec<AllowEntry> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, char::is_whitespace);
+        let (rule, path, count, rest) = (
+            parts.next().unwrap_or_default(),
+            parts.next().unwrap_or_default(),
+            parts.next().unwrap_or_default(),
+            parts.next().unwrap_or_default(),
+        );
+        let rule = RuleId::parse(rule)
+            .ok_or_else(|| format!("caplint.allow:{}: unknown rule `{rule}`", idx + 1))?;
+        if path.is_empty() {
+            return Err(format!("caplint.allow:{}: missing path", idx + 1));
+        }
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("caplint.allow:{}: bad count `{count}`", idx + 1))?;
+        if count == 0 {
+            return Err(format!(
+                "caplint.allow:{}: count must be >= 1 (delete the entry instead)",
+                idx + 1
+            ));
+        }
+        let justification = rest.trim();
+        if justification.is_empty() {
+            return Err(format!(
+                "caplint.allow:{}: a one-line justification is required",
+                idx + 1
+            ));
+        }
+        if out.iter().any(|e| e.rule == rule && e.path == path) {
+            return Err(format!(
+                "caplint.allow:{}: duplicate entry for {} {}",
+                idx + 1,
+                rule.code(),
+                path
+            ));
+        }
+        out.push(AllowEntry {
+            rule,
+            path: path.to_string(),
+            count,
+            justification: justification.to_string(),
+            line: idx + 1,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_comments() {
+        let src = "# header\n\nR001 crates/obs/src/serve.rs 1 server thread outlives any scope\n";
+        let e = parse(src).unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].rule, RuleId::R001);
+        assert_eq!(e[0].count, 1);
+        assert!(e[0].justification.contains("outlives"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("R999 a 1 x").is_err());
+        assert!(parse("R001 a 0 x").is_err());
+        assert!(parse("R001 a one x").is_err());
+        assert!(parse("R001 a 1").is_err());
+        assert!(parse("R001 a 1 x\nR001 a 2 y").is_err());
+    }
+}

@@ -1,0 +1,91 @@
+//! `caplint` — mechanical enforcement of the workspace's determinism,
+//! atomic-IO, and threading contracts (rules R001–R007).
+//!
+//! ```text
+//! caplint [--root DIR] [--allow FILE] [--json] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` non-baselined violations, `2` stale
+//! baseline entries (violation fixed but entry remains), `3` usage or
+//! I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    allow: Option<PathBuf>,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        allow: None,
+        json: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--allow" => {
+                opts.allow = Some(PathBuf::from(args.next().ok_or("--allow needs a file")?));
+            }
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "caplint [--root DIR] [--allow FILE] [--json] [--list-rules]\n\n\
+                     Checks every Rust source and Cargo.toml under DIR (default .)\n\
+                     against rules R001-R007; see --list-rules. The baseline defaults\n\
+                     to DIR/caplint.allow when present.\n\n\
+                     Exit codes: 0 clean, 1 violations, 2 stale baseline, 3 usage/IO error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<i32, String> {
+    let opts = parse_args()?;
+    if opts.list_rules {
+        print!("{}", cap_lint::render_rule_list());
+        return Ok(0);
+    }
+    let allow_path = opts.allow.clone().or_else(|| {
+        let default = opts.root.join("caplint.allow");
+        default.exists().then_some(default)
+    });
+    let allow = match &allow_path {
+        Some(p) => {
+            let src =
+                std::fs::read_to_string(p).map_err(|e| format!("read {}: {e}", p.display()))?;
+            cap_lint::allow::parse(&src)?
+        }
+        None => Vec::new(),
+    };
+    let outcome = cap_lint::check_workspace(&opts.root, &allow)?;
+    if opts.json {
+        println!("{}", cap_lint::render_json(&outcome));
+    } else {
+        print!("{}", cap_lint::render_human(&outcome));
+    }
+    Ok(outcome.exit_code())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => ExitCode::from(u8::try_from(code).unwrap_or(3)),
+        Err(msg) => {
+            eprintln!("caplint: {msg}");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! A minimal Rust source "lexer" for lint purposes.
+//!
+//! This is not a full tokenizer: it produces, per source line, the
+//! *code* text (with comments and string-literal contents blanked to
+//! spaces), the *comment* text (so `// SAFETY:` annotations can be
+//! found), and a flag saying whether the line sits inside a test
+//! region (`#[cfg(test)]` / `#[test]` item bodies).
+//!
+//! Blanking preserves byte positions line-by-line, so every rule match
+//! reports the original line number. The scanner understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and nested block comments
+//! - string literals with escapes, byte strings, and raw strings with
+//!   any number of `#` guards (`r"…"`, `r##"…"##`, `br#"…"#`)
+//! - char literals vs. lifetimes (`'a'` vs. `'a`)
+
+/// Per-line view of a masked source file.
+#[derive(Debug)]
+pub struct MaskedFile {
+    /// Source lines with comments and string contents replaced by
+    /// spaces (string delimiters are kept so `""` still reads as a
+    /// literal).
+    pub code: Vec<String>,
+    /// Comment text found on each line (empty when the line has none).
+    pub comments: Vec<String>,
+    /// Whether each line lies inside a `#[cfg(test)]` / `#[test]`
+    /// region (attribute line through the end of the annotated item).
+    pub test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str {
+        raw_hashes: Option<u32>,
+        escaped: bool,
+    },
+    CharLit {
+        escaped: bool,
+    },
+}
+
+/// Masks `src` into per-line code/comment views and marks test regions.
+pub fn mask(src: &str) -> MaskedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    let flush = |code: &mut String,
+                 comment: &mut String,
+                 code_lines: &mut Vec<String>,
+                 comment_lines: &mut Vec<String>| {
+        code_lines.push(std::mem::take(code));
+        comment_lines.push(std::mem::take(comment));
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment ends at the newline; strings and block
+            // comments simply continue on the next line.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            flush(&mut code, &mut comment, &mut code_lines, &mut comment_lines);
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str {
+                        raw_hashes: None,
+                        escaped: false,
+                    };
+                    code.push('"');
+                    i += 1;
+                } else if let Some((skip, hashes)) = raw_string_open(&chars, i) {
+                    state = State::Str {
+                        raw_hashes: Some(hashes),
+                        escaped: false,
+                    };
+                    for _ in 0..skip {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    i += skip + 1;
+                } else if c == 'b' && next == Some('"') && !prev_is_ident(&chars, i) {
+                    state = State::Str {
+                        raw_hashes: None,
+                        escaped: false,
+                    };
+                    code.push_str(" \"");
+                    i += 2;
+                } else if c == '\'' {
+                    // Distinguish a char literal from a lifetime: 'x'
+                    // closes within two chars (or starts an escape);
+                    // 'ident does not.
+                    let is_char = matches!(next, Some('\\'))
+                        || matches!(chars.get(i + 2), Some('\'') if next != Some('\''));
+                    if is_char {
+                        state = State::CharLit { escaped: false };
+                        code.push('\'');
+                        i += 1;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment | State::BlockComment(_) => {
+                if let State::BlockComment(depth) = state {
+                    let next = chars.get(i + 1).copied();
+                    if c == '*' && next == Some('/') {
+                        let d = depth - 1;
+                        state = if d == 0 {
+                            State::Code
+                        } else {
+                            State::BlockComment(d)
+                        };
+                        code.push_str("  ");
+                        comment.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        code.push_str("  ");
+                        comment.push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                }
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::Str {
+                raw_hashes,
+                escaped,
+            } => match raw_hashes {
+                None => {
+                    if escaped {
+                        state = State::Str {
+                            raw_hashes,
+                            escaped: false,
+                        };
+                    } else if c == '\\' {
+                        state = State::Str {
+                            raw_hashes,
+                            escaped: true,
+                        };
+                    } else if c == '"' {
+                        state = State::Code;
+                        code.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    code.push(' ');
+                    i += 1;
+                }
+                Some(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        state = State::Code;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::CharLit { escaped } => {
+                if escaped {
+                    state = State::CharLit { escaped: false };
+                } else if c == '\\' {
+                    state = State::CharLit { escaped: true };
+                } else if c == '\'' {
+                    state = State::Code;
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(' ');
+                i += 1;
+            }
+        }
+    }
+    // A trailing newline already flushed its line; only a final
+    // unterminated line still needs flushing (keeps the per-line
+    // arrays aligned with `str::lines`).
+    if !src.is_empty() && !src.ends_with('\n') {
+        flush(&mut code, &mut comment, &mut code_lines, &mut comment_lines);
+    }
+
+    let test = mark_test_regions(&code_lines);
+    MaskedFile {
+        code: code_lines,
+        comments: comment_lines,
+        test,
+    }
+}
+
+/// Returns `(chars_before_quote, hash_count)` when `chars[i]` starts a
+/// raw (byte) string opener like `r"`, `r##"`, or `br#"`.
+fn raw_string_open(chars: &[char], i: usize) -> Option<(usize, u32)> {
+    if prev_is_ident(chars, i) {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j - i, hashes))
+    } else {
+        None
+    }
+}
+
+/// True when the `"` at `i` is followed by `hashes` `#` characters.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Marks the line ranges covered by `#[cfg(test)]` / `#[test]`
+/// annotated items: from the attribute line through the matching `}`
+/// of the item body (or the `;` of a body-less item).
+fn mark_test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut test = vec![false; code_lines.len()];
+    // Flatten with line indices so region scans can cross lines.
+    let mut flat: Vec<(usize, char)> = Vec::new();
+    for (ln, line) in code_lines.iter().enumerate() {
+        for c in line.chars() {
+            flat.push((ln, c));
+        }
+        flat.push((ln, '\n'));
+    }
+    let mut i = 0usize;
+    while i < flat.len() {
+        if flat[i].1 == '#' && matches!(flat.get(i + 1), Some(&(_, '['))) {
+            let attr_start_line = flat[i].0;
+            let (inner, after) = read_attr(&flat, i + 1);
+            if is_test_attr(&inner) {
+                let end = mark_item(&flat, after);
+                let end_line = flat
+                    .get(end.min(flat.len() - 1))
+                    .map_or(attr_start_line, |t| t.0);
+                for t in test.iter_mut().take(end_line + 1).skip(attr_start_line) {
+                    *t = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = after;
+            continue;
+        }
+        i += 1;
+    }
+    test
+}
+
+/// Reads a `[...]` attribute starting at the opening bracket; returns
+/// the inner text and the index just past the closing bracket.
+fn read_attr(flat: &[(usize, char)], open: usize) -> (String, usize) {
+    let mut depth = 0i32;
+    let mut inner = String::new();
+    let mut i = open;
+    while i < flat.len() {
+        let c = flat[i].1;
+        if c == '[' {
+            depth += 1;
+            if depth > 1 {
+                inner.push(c);
+            }
+        } else if c == ']' {
+            depth -= 1;
+            if depth == 0 {
+                return (inner, i + 1);
+            }
+            inner.push(c);
+        } else if depth >= 1 {
+            inner.push(c);
+        }
+        i += 1;
+    }
+    (inner, i)
+}
+
+/// Recognises attributes that gate an item to test builds.
+fn is_test_attr(inner: &str) -> bool {
+    let inner = inner.trim();
+    if inner == "test" {
+        return true;
+    }
+    inner.starts_with("cfg") && has_word(inner, "test")
+}
+
+/// True when `word` appears in `text` delimited by non-identifier chars.
+pub fn has_word(text: &str, word: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans forward from the end of a test attribute over any further
+/// attributes, then consumes the annotated item: up to the matching
+/// `}` of its first brace, or the terminating `;` when no brace opens
+/// first. Returns the index of the final char of the item.
+fn mark_item(flat: &[(usize, char)], mut i: usize) -> usize {
+    // Skip whitespace and subsequent attributes (#[test] #[ignore] fn ..).
+    loop {
+        while i < flat.len() && flat[i].1.is_whitespace() {
+            i += 1;
+        }
+        if i < flat.len() && flat[i].1 == '#' && matches!(flat.get(i + 1), Some(&(_, '['))) {
+            let (_, after) = read_attr(flat, i + 1);
+            i = after;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0i32;
+    while i < flat.len() {
+        match flat[i].1 {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            ';' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    flat.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = mask("let x = \"thread::spawn\"; // thread::spawn\nlet y = 1;\n");
+        assert!(!m.code[0].contains("thread::spawn"));
+        assert!(m.comments[0].contains("thread::spawn"));
+        assert!(m.code[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let m = mask("let s = r##\"HashMap \"# inner\"##; HashSet\n");
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(m.code[0].contains("HashSet"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let m = mask("fn f<'a>(x: &'a str) { let q = '\"'; let z = \"Instant::now\"; }\n");
+        assert!(m.code[0].contains("fn f<'a>"));
+        assert!(!m.code[0].contains("Instant::now"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("/* outer /* inner */ still comment */ code();\n");
+        assert!(m.code[0].contains("code();"));
+        assert!(!m.code[0].contains("outer"));
+        assert!(m.comments[0].contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_mod_region() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let m = mask(src);
+        assert_eq!(m.test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_attr_fn_region() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn live() {}\n";
+        let m = mask(src);
+        assert_eq!(m.test, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_use_statement() {
+        let src = "#[cfg(test)]\nuse std::thread;\nfn live() {}\n";
+        let m = mask(src);
+        assert_eq!(m.test, vec![true, true, false]);
+    }
+
+    #[test]
+    fn cfg_feature_is_not_test() {
+        let src = "#[cfg(feature = \"x\")]\nfn gated() {}\n";
+        let m = mask(src);
+        assert_eq!(m.test, vec![false, false]);
+    }
+
+    #[test]
+    fn stacked_attributes_before_test_fn() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    body();\n}\n";
+        let m = mask(src);
+        assert!(m.test[..4].iter().all(|&t| t));
+    }
+}

@@ -1,0 +1,388 @@
+//! Rule set R001–R007: each rule encodes one load-bearing workspace
+//! contract (see DESIGN.md §11). Rules operate on [`MaskedFile`]s, so
+//! string literals and comments never trigger false positives, and
+//! test regions are exempted where the contract only binds shipping
+//! code.
+
+use crate::lexer::{has_word, mask};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// Threads only via the `cap-par` pool.
+    R001,
+    /// Durable writes only via `cap_obs::fsx::atomic_write`.
+    R002,
+    /// No iteration-order-nondeterministic hash collections.
+    R003,
+    /// Wall-clock reads only inside the telemetry layer.
+    R004,
+    /// No panicking `unwrap`/`expect` in hot-path crates.
+    R005,
+    /// Every `unsafe` must carry a `// SAFETY:` comment.
+    R006,
+    /// Only workspace-internal and `vendor/` dependencies.
+    R007,
+}
+
+impl RuleId {
+    /// All rules, in order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::R001,
+        RuleId::R002,
+        RuleId::R003,
+        RuleId::R004,
+        RuleId::R005,
+        RuleId::R006,
+        RuleId::R007,
+    ];
+
+    /// The stable `Rnnn` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::R001 => "R001",
+            RuleId::R002 => "R002",
+            RuleId::R003 => "R003",
+            RuleId::R004 => "R004",
+            RuleId::R005 => "R005",
+            RuleId::R006 => "R006",
+            RuleId::R007 => "R007",
+        }
+    }
+
+    /// Short kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::R001 => "raw-thread-spawn",
+            RuleId::R002 => "non-atomic-write",
+            RuleId::R003 => "hash-collection",
+            RuleId::R004 => "raw-wall-clock",
+            RuleId::R005 => "panic-in-hot-path",
+            RuleId::R006 => "undocumented-unsafe",
+            RuleId::R007 => "external-dependency",
+        }
+    }
+
+    /// One-line explanation shown with every finding and by
+    /// `--list-rules`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            RuleId::R001 => {
+                "spawn threads only through the cap-par pool (crates/par); ad-hoc \
+                 threads bypass CAP_THREADS determinism, the watchdog, and panic recovery"
+            }
+            RuleId::R002 => {
+                "route durable writes through cap_obs::fsx::atomic_write (tmp+rename+fsync); \
+                 raw std::fs::write/File::create/OpenOptions can leave torn files after a crash"
+            }
+            RuleId::R003 => {
+                "std HashMap/HashSet iterate in random order, breaking bit-identical \
+                 replay; use BTreeMap/BTreeSet or index-keyed Vecs"
+            }
+            RuleId::R004 => {
+                "read the wall clock only inside crates/obs (use cap_obs::clock::now()); \
+                 scattered Instant::now/SystemTime::now calls evade the telemetry layer"
+            }
+            RuleId::R005 => {
+                "hot-path crates (tensor/nn/core) must surface failures through their \
+                 Error types, not .unwrap()/.expect() panics"
+            }
+            RuleId::R006 => {
+                "every `unsafe` must be immediately preceded by (or share a line with) \
+                 a // SAFETY: comment stating the upheld invariants"
+            }
+            RuleId::R007 => {
+                "Cargo.toml dependencies must be workspace crates or vendor/ paths \
+                 (workspace = true / path = ...); no crates.io, git, or version deps"
+            }
+        }
+    }
+
+    /// Parses an `Rnnn` code.
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.code() == s)
+    }
+}
+
+/// One finding: a rule fired at `path:line`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule that fired.
+    pub rule: RuleId,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// What was matched, e.g. `` `thread::spawn` ``.
+    pub what: String,
+}
+
+/// True for paths whose whole content is test/demo code: integration
+/// test dirs, benches, and examples. `#[cfg(test)]` regions inside
+/// library files are handled separately by the lexer.
+fn is_test_path(path: &str) -> bool {
+    path.split('/')
+        .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
+}
+
+struct TextRule {
+    id: RuleId,
+    /// `(needle, word_boundary)` patterns searched in masked code.
+    patterns: &'static [(&'static str, bool)],
+    applies: fn(&str) -> bool,
+}
+
+const TEXT_RULES: &[TextRule] = &[
+    TextRule {
+        id: RuleId::R001,
+        patterns: &[("thread::spawn", false), ("thread::Builder", false)],
+        applies: |p| !p.starts_with("crates/par/src/"),
+    },
+    TextRule {
+        id: RuleId::R002,
+        patterns: &[
+            ("fs::write", false),
+            ("File::create", false),
+            ("OpenOptions", true),
+        ],
+        applies: |p| !p.ends_with("fsx.rs"),
+    },
+    TextRule {
+        id: RuleId::R003,
+        patterns: &[("HashMap", true), ("HashSet", true)],
+        applies: |_| true,
+    },
+    TextRule {
+        id: RuleId::R004,
+        patterns: &[("Instant::now", false), ("SystemTime::now", false)],
+        applies: |p| !p.starts_with("crates/obs/src/"),
+    },
+    TextRule {
+        id: RuleId::R005,
+        patterns: &[(".unwrap()", false), (".expect(", false)],
+        applies: |p| {
+            p.starts_with("crates/tensor/src/")
+                || p.starts_with("crates/nn/src/")
+                || p.starts_with("crates/core/src/")
+        },
+    },
+];
+
+/// Runs every Rust-source rule against one file.
+///
+/// `path` must be workspace-relative with `/` separators — the rules'
+/// scoping (pool crate, fsx.rs, hot-path crates, test dirs) is keyed
+/// on it.
+pub fn check_rust(path: &str, src: &str) -> Vec<Violation> {
+    let masked = mask(src);
+    let mut out = Vec::new();
+    let whole_file_test = is_test_path(path);
+
+    for rule in TEXT_RULES {
+        if !(rule.applies)(path) {
+            continue;
+        }
+        if whole_file_test {
+            continue;
+        }
+        for (idx, line) in masked.code.iter().enumerate() {
+            if masked.test[idx] {
+                continue;
+            }
+            for &(needle, word) in rule.patterns {
+                let hit = if word {
+                    has_word(line, needle)
+                } else {
+                    line.contains(needle)
+                };
+                if hit {
+                    out.push(Violation {
+                        rule: rule.id,
+                        path: path.to_string(),
+                        line: idx + 1,
+                        what: format!("`{needle}`"),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    // R006 applies everywhere, including test code: an undocumented
+    // unsafe block is equally suspect in a test.
+    for (idx, line) in masked.code.iter().enumerate() {
+        if !has_word(line, "unsafe") {
+            continue;
+        }
+        if !has_safety_comment(&masked.comments, idx) {
+            out.push(Violation {
+                rule: RuleId::R006,
+                path: path.to_string(),
+                line: idx + 1,
+                what: "`unsafe` without `// SAFETY:`".to_string(),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// A `SAFETY:` marker counts when it appears in a comment on the
+/// `unsafe` line itself or in the contiguous comment block directly
+/// above it (blank code lines allowed in between only if they carry
+/// comments).
+fn has_safety_comment(comments: &[String], line: usize) -> bool {
+    if comments[line].contains("SAFETY") {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        if comments[i].contains("SAFETY") {
+            return true;
+        }
+        if comments[i].trim().is_empty() {
+            return false;
+        }
+    }
+    false
+}
+
+/// R007: checks one `Cargo.toml` for non-workspace dependencies.
+///
+/// Accepted dependency forms: `name.workspace = true`,
+/// `name = { workspace = true, ... }`, and `name = { path = "..." }`
+/// (all path deps in this workspace point at `crates/` or `vendor/`).
+/// Anything with `version`, `git`, or a bare `"x.y"` requirement is an
+/// external dependency and violates the zero-dependency guarantee.
+pub fn check_manifest(path: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_dep_table = false; // inside [dependencies]-like section
+    let mut dotted_dep: Option<(usize, bool)> = None; // [dependencies.foo]: (header line, seen ok key)
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = strip_toml_comment(raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed.starts_with('[') {
+            // Close a pending [dependencies.foo] table before the next
+            // section starts.
+            if let Some((hdr, ok)) = dotted_dep.take() {
+                if !ok {
+                    out.push(manifest_violation(path, hdr + 1, "table dependency"));
+                }
+            }
+            let section = trimmed.trim_matches(['[', ']']);
+            let is_dep_section = section == "dependencies"
+                || section == "dev-dependencies"
+                || section == "build-dependencies"
+                || section == "workspace.dependencies"
+                || section.ends_with(".dependencies");
+            let is_dotted_dep = !is_dep_section
+                && (section.starts_with("dependencies.")
+                    || section.starts_with("dev-dependencies.")
+                    || section.starts_with("build-dependencies.")
+                    || section.starts_with("workspace.dependencies."));
+            in_dep_table = is_dep_section;
+            if is_dotted_dep {
+                dotted_dep = Some((idx, false));
+            }
+            continue;
+        }
+        if let Some((hdr, ok)) = dotted_dep.as_mut() {
+            let _ = hdr;
+            if trimmed.contains("workspace") && trimmed.contains("true")
+                || trimmed.starts_with("path")
+            {
+                *ok = true;
+            }
+            continue;
+        }
+        if !in_dep_table {
+            continue;
+        }
+        let ok = trimmed.contains("workspace = true")
+            || trimmed.contains("workspace=true")
+            || trimmed.contains("path = ")
+            || trimmed.contains("path=");
+        if !ok && trimmed.contains('=') {
+            out.push(manifest_violation(path, idx + 1, "dependency"));
+        }
+    }
+    if let Some((hdr, ok)) = dotted_dep {
+        if !ok {
+            out.push(manifest_violation(path, hdr + 1, "table dependency"));
+        }
+    }
+    out
+}
+
+fn manifest_violation(path: &str, line: usize, kind: &str) -> Violation {
+    Violation {
+        rule: RuleId::R007,
+        path: path.to_string(),
+        line,
+        what: format!("{kind} without `workspace = true` or `path = ...`"),
+    }
+}
+
+/// Removes a `#` comment that is not inside a quoted string.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_codes_roundtrip() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.code()), Some(r));
+            assert!(!r.explain().is_empty());
+            assert!(!r.name().is_empty());
+        }
+        assert_eq!(RuleId::parse("R999"), None);
+    }
+
+    #[test]
+    fn manifest_accepts_workspace_and_path() {
+        let toml = "[dependencies]\ncap-obs.workspace = true\nrand = { path = \"../rand\" }\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn manifest_rejects_version_and_git() {
+        let toml = "[dependencies]\nserde = \"1.0\"\nfoo = { git = \"https://x\" }\n";
+        let v = check_manifest("crates/x/Cargo.toml", toml);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.rule == RuleId::R007));
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn manifest_ignores_package_metadata() {
+        let toml = "[package]\nversion.workspace = true\nedition = \"2021\"\n";
+        assert!(check_manifest("crates/x/Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn dotted_dependency_tables() {
+        let ok = "[dependencies.cap-nn]\nworkspace = true\n";
+        assert!(check_manifest("crates/x/Cargo.toml", ok).is_empty());
+        let bad = "[dependencies.serde]\nversion = \"1\"\n";
+        assert_eq!(check_manifest("crates/x/Cargo.toml", bad).len(), 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! Deterministic workspace walker.
+//!
+//! Collects the `.rs` and `Cargo.toml` files a lint run must see, in a
+//! stable sorted order (directory read order is OS-dependent, and lint
+//! output must be byte-stable for CI diffing).
+
+use std::path::{Path, PathBuf};
+
+/// One file the checker will read.
+#[derive(Debug)]
+pub struct Entry {
+    /// Absolute path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with `/` separators (rule scoping key).
+    pub rel: String,
+    /// Whether this is a `Cargo.toml` (R007) rather than Rust source.
+    pub manifest: bool,
+}
+
+/// Directories never descended into: build output, VCS metadata, and
+/// lint fixtures (fixtures must violate rules on purpose).
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == ".git" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Walks `root`, returning entries sorted by relative path.
+///
+/// `vendor/` is special-cased: its Rust sources are third-party code
+/// outside our contracts, but its `Cargo.toml`s still participate in
+/// R007 (a vendored crate sprouting a crates.io dependency would break
+/// the zero-dependency guarantee just the same).
+pub fn walk(root: &Path) -> std::io::Result<Vec<Entry>> {
+    let mut out = Vec::new();
+    descend(root, root, false, &mut out)?;
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn descend(root: &Path, dir: &Path, in_vendor: bool, out: &mut Vec<Entry>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::file_name);
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name().to_string_lossy().into_owned();
+        let ty = e.file_type()?;
+        if ty.is_dir() {
+            if skip_dir(&name) {
+                continue;
+            }
+            let vendor = in_vendor || (name == "vendor" && path.parent() == Some(root));
+            descend(root, &path, vendor, out)?;
+        } else if ty.is_file() {
+            let manifest = name == "Cargo.toml";
+            let rust = name.ends_with(".rs");
+            if !(manifest || rust) || (in_vendor && !manifest) {
+                continue;
+            }
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(Entry {
+                abs: path,
+                rel,
+                manifest,
+            });
+        }
+    }
+    Ok(())
+}

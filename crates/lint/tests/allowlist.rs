@@ -1,0 +1,166 @@
+//! End-to-end baseline behaviour on a synthetic workspace in a temp
+//! dir: suppression at the expected count, failure when a new
+//! violation exceeds it, and staleness when entries outlive their
+//! violations — plus the `caplint` binary's exit codes for each state.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct TempWs {
+    root: PathBuf,
+}
+
+impl TempWs {
+    fn new(tag: &str) -> TempWs {
+        let root = std::env::temp_dir().join(format!("caplint-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/demo/src")).expect("mkdir");
+        TempWs { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let p = self.root.join(rel);
+        std::fs::create_dir_all(p.parent().expect("parent")).expect("mkdir");
+        std::fs::write(p, content).expect("write fixture");
+    }
+}
+
+impl Drop for TempWs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+const ONE_SPAWN: &str = "fn live() {\n    std::thread::spawn(|| 1).join().ok();\n}\n";
+const TWO_SPAWNS: &str = "fn live() {\n    std::thread::spawn(|| 1).join().ok();\n    \
+                          std::thread::spawn(|| 2).join().ok();\n}\n";
+const CLEAN: &str = "fn live() {}\n";
+
+fn check(root: &Path, allow_src: &str) -> cap_lint::Outcome {
+    let allow = cap_lint::allow::parse(allow_src).expect("parse allow");
+    cap_lint::check_workspace(root, &allow).expect("check")
+}
+
+#[test]
+fn baseline_suppresses_accepted_violation() {
+    let ws = TempWs::new("suppress");
+    ws.write("crates/demo/src/lib.rs", ONE_SPAWN);
+    let o = check(
+        &ws.root,
+        "R001 crates/demo/src/lib.rs 1 legacy listener thread\n",
+    );
+    assert!(o.violations.is_empty(), "{:?}", o.violations);
+    assert_eq!(o.suppressed, 1);
+    assert!(o.stale.is_empty());
+    assert_eq!(o.exit_code(), 0);
+}
+
+#[test]
+fn new_violation_beyond_baseline_count_fails() {
+    let ws = TempWs::new("overrun");
+    ws.write("crates/demo/src/lib.rs", TWO_SPAWNS);
+    let o = check(
+        &ws.root,
+        "R001 crates/demo/src/lib.rs 1 legacy listener thread\n",
+    );
+    // The whole file's hits are reported so the reviewer sees both the
+    // accepted and the newly-introduced site.
+    assert_eq!(o.violations.len(), 2);
+    assert_eq!(o.exit_code(), 1);
+}
+
+#[test]
+fn stale_entry_is_reported_once_violation_is_fixed() {
+    let ws = TempWs::new("stale");
+    ws.write("crates/demo/src/lib.rs", CLEAN);
+    let o = check(
+        &ws.root,
+        "R001 crates/demo/src/lib.rs 1 legacy listener thread\n",
+    );
+    assert!(o.violations.is_empty());
+    assert_eq!(o.stale.len(), 1);
+    assert_eq!(o.stale[0].found, 0);
+    assert_eq!(o.exit_code(), 2);
+    let human = cap_lint::render_human(&o);
+    assert!(human.contains("stale entry R001"), "{human}");
+}
+
+#[test]
+fn partially_fixed_file_is_stale_not_failing() {
+    let ws = TempWs::new("partial");
+    ws.write("crates/demo/src/lib.rs", ONE_SPAWN);
+    let o = check(
+        &ws.root,
+        "R001 crates/demo/src/lib.rs 2 two legacy threads\n",
+    );
+    assert!(o.violations.is_empty());
+    assert_eq!(o.suppressed, 1);
+    assert_eq!(o.stale.len(), 1);
+    assert_eq!(o.stale[0].found, 1);
+    assert_eq!(o.exit_code(), 2);
+}
+
+#[test]
+fn caplint_binary_exit_codes_and_json() {
+    let ws = TempWs::new("cli");
+    ws.write("crates/demo/src/lib.rs", ONE_SPAWN);
+    let bin = env!("CARGO_BIN_EXE_caplint");
+
+    // No baseline: one violation, exit 1, JSON carries it.
+    let out = Command::new(bin)
+        .args(["--root", ws.root.to_str().expect("utf8 root"), "--json"])
+        .output()
+        .expect("run caplint");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"rule\":\"R001\""), "{stdout}");
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+
+    // Default caplint.allow in the root is picked up: exit 0.
+    ws.write(
+        "caplint.allow",
+        "R001 crates/demo/src/lib.rs 1 accepted legacy thread\n",
+    );
+    let out = Command::new(bin)
+        .args(["--root", ws.root.to_str().expect("utf8 root")])
+        .output()
+        .expect("run caplint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Violation fixed, entry kept: stale, exit 2.
+    ws.write("crates/demo/src/lib.rs", CLEAN);
+    let out = Command::new(bin)
+        .args(["--root", ws.root.to_str().expect("utf8 root")])
+        .output()
+        .expect("run caplint");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Malformed baseline: usage error, exit 3.
+    ws.write("caplint.allow", "R001 missing-count-and-justification\n");
+    let out = Command::new(bin)
+        .args(["--root", ws.root.to_str().expect("utf8 root")])
+        .output()
+        .expect("run caplint");
+    assert_eq!(out.status.code(), Some(3));
+
+    // --list-rules documents every rule.
+    let out = Command::new(bin)
+        .arg("--list-rules")
+        .output()
+        .expect("run caplint");
+    assert_eq!(out.status.code(), Some(0));
+    let listing = String::from_utf8(out.stdout).expect("utf8");
+    for code in ["R001", "R002", "R003", "R004", "R005", "R006", "R007"] {
+        assert!(listing.contains(code), "missing {code} in --list-rules");
+    }
+}

@@ -1,0 +1,13 @@
+// R001 fixture: no raw threads in live code; mentions in strings,
+// comments, and test regions must stay silent.
+fn live() {
+    // thread::spawn in a comment does not count
+    let _s = "thread::spawn in a string does not count";
+    let _r = r#"thread::Builder in a raw string does not count"#;
+    cap_par::run_tasks(Vec::new());
+}
+
+#[test]
+fn spawn_in_a_test_fn_is_exempt() {
+    std::thread::spawn(|| 3).join().ok();
+}

@@ -1,0 +1,14 @@
+// R001 fixture: raw thread creation outside crates/par.
+fn live() {
+    let h = std::thread::spawn(|| 1); //~ R001
+    let _b = std::thread::Builder::new(); //~ R001
+    h.join().ok();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_inside_test_region_is_exempt() {
+        std::thread::spawn(|| 2).join().ok();
+    }
+}

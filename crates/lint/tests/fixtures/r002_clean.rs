@@ -1,0 +1,18 @@
+// R002 fixture: writes routed through the atomic helper, plus exempt
+// test-region writes. `fsx::atomic_write` and reads never match.
+pub fn save(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    cap_obs::fsx::atomic_write(path, bytes)
+}
+
+pub fn load(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn raw_write_in_test_region_is_exempt() {
+        std::fs::write("/tmp/x", b"fixture").ok();
+        let _f = std::fs::File::create("/tmp/y");
+    }
+}

@@ -1,0 +1,15 @@
+// R003 fixture: ordered collections keep replay bit-identical; word
+// boundaries must not fire on identifiers that merely embed the names.
+use std::collections::{BTreeMap, BTreeSet};
+
+struct MyHashMapLike; // HashMapX-style identifiers are not the std type
+
+fn tally(keys: &[u32]) -> usize {
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    seen.extend(keys);
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let _s = "HashMap in a string is fine";
+    let _x = MyHashMapLike;
+    let _id = HashMapX_id; // embedded name, not a word match
+    seen.len() + m.len()
+}

@@ -1,0 +1,8 @@
+// R004 fixture: wall-clock flows through the telemetry layer's single
+// doorway.
+fn elapsed() -> f64 {
+    let t0 = cap_obs::clock::now();
+    // Instant::now in a comment does not count.
+    let _s = "Instant::now in a string does not count";
+    cap_obs::clock::elapsed_secs(t0)
+}

@@ -1,0 +1,14 @@
+// R004 fixture: raw wall-clock reads outside the telemetry layer.
+fn elapsed() -> f64 {
+    let t0 = std::time::Instant::now(); //~ R004
+    let _wall = std::time::SystemTime::now(); //~ R004
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn clock_reads_in_tests_are_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

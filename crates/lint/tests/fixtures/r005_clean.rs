@@ -1,0 +1,8 @@
+// R005 fixture: hot-path code surfaces failures through Result.
+pub fn hot(v: &[f32]) -> Result<f32, &'static str> {
+    let first = v.first().ok_or("needs one entry")?;
+    let second = v.get(1).ok_or("needs two entries")?;
+    // .unwrap() in a comment does not count; nor in a string:
+    let _s = "please don't .unwrap() here";
+    Ok(first + second)
+}

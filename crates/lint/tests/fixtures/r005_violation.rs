@@ -1,0 +1,15 @@
+// R005 fixture: panic paths in a hot-path crate (checked under a
+// crates/nn/src/ synthetic path).
+pub fn hot(v: &[f32]) -> f32 {
+    let first = v.first().unwrap(); //~ R005
+    let second = v.get(1).expect("needs two entries"); //~ R005
+    first + second
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_region_is_exempt() {
+        assert!(super::hot(&[1.0, 2.0]).partial_cmp(&3.0).unwrap().is_eq());
+    }
+}

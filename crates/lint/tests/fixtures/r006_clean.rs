@@ -1,0 +1,16 @@
+// R006 fixture: documented unsafe in its accepted shapes.
+pub fn above(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads and
+    // properly aligned for u8.
+    unsafe { *p }
+}
+
+pub fn same_line(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: same-line annotation also counts
+}
+
+pub fn attr_only() {
+    // The forbid attribute names unsafe_code but is not the keyword.
+    #[allow(unsafe_code)]
+    fn _inner() {}
+}

@@ -1,0 +1,14 @@
+// R006 fixture: unsafe without a SAFETY comment — including inside
+// test code (the rule is not test-exempt).
+pub fn deref(p: *const u8) -> u8 {
+    unsafe { *p } //~ R006
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn undocumented_unsafe_in_tests_still_fires() {
+        let x = 7u8;
+        let _ = unsafe { *(&x as *const u8) }; //~ R006
+    }
+}

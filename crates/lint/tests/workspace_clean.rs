@@ -1,0 +1,29 @@
+//! The acceptance gate, as a tier-1 test: `caplint` must exit 0 on
+//! this workspace at HEAD — every violation either fixed or carried in
+//! `caplint.allow` with a justification, and no baseline entry stale.
+
+#[test]
+fn caplint_is_clean_on_this_workspace() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let allow_src = std::fs::read_to_string(root.join("caplint.allow"))
+        .expect("caplint.allow must exist at the workspace root");
+    let allow = cap_lint::allow::parse(&allow_src).expect("caplint.allow must parse");
+    let outcome = cap_lint::check_workspace(&root, &allow).expect("check workspace");
+    assert!(
+        outcome.violations.is_empty() && outcome.stale.is_empty(),
+        "caplint must be clean on HEAD:\n{}",
+        cap_lint::render_human(&outcome)
+    );
+    // The baseline is meant to shrink, not rot: every entry must still
+    // be load-bearing (checked via staleness above) and justified
+    // (checked by the parser). Sanity-bound its size so it cannot
+    // quietly become a dumping ground.
+    assert!(
+        allow.len() <= 16,
+        "baseline has grown to {} entries — pay down the debt",
+        allow.len()
+    );
+}

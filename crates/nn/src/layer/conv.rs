@@ -270,7 +270,9 @@ impl Conv2d {
             cap_par::run_tasks(tasks);
         }
         for slot in col_slots {
-            let cols = slot.expect("forward task filled its slot")?;
+            let cols = slot.ok_or(NnError::TaskNotRun {
+                layer: "Conv2d::forward",
+            })??;
             self.cached_cols.push(cols);
         }
         if let Some(b) = &self.bias {
@@ -369,7 +371,9 @@ impl Conv2d {
                 cap_par::run_tasks(tasks);
             }
             for slot in gw_slots {
-                let gw = slot.expect("backward task filled its slot")?;
+                let gw = slot.ok_or(NnError::TaskNotRun {
+                    layer: "Conv2d::backward",
+                })??;
                 grad_wmat.axpy(1.0, &gw)?;
             }
             s0 += count;
@@ -523,7 +527,7 @@ pub(crate) fn validate_keep(keep: &[usize], limit: usize, what: &str) -> Result<
             reason: format!("keep-set for {what} must be strictly increasing"),
         });
     }
-    if *keep.last().expect("non-empty") >= limit {
+    if keep.last().is_some_and(|&last| last >= limit) {
         return Err(NnError::InvalidConfig {
             reason: format!("keep-set for {what} references index >= {limit}"),
         });

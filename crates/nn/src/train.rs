@@ -159,7 +159,7 @@ pub fn fit(
     let mut global_step: u64 = 0;
     for epoch in 0..cfg.epochs {
         let _epoch_span = cap_obs::span!("nn.fit.epoch");
-        let epoch_start = std::time::Instant::now();
+        let epoch_start = cap_obs::clock::now();
         order.shuffle(&mut rng);
         if matches!(cfg.fault_policy, FaultPolicy::RestoreAndHalveLr { .. }) {
             snapshot = Some(net.clone());
@@ -233,7 +233,18 @@ pub fn fit(
                             }
                             restore_budget -= 1;
                             cap_obs::counter_add("nn.fault_restores_total", 1);
-                            *net = snapshot.as_ref().expect("snapshot taken above").clone();
+                            // The snapshot is taken at every epoch start
+                            // under this policy; if it is somehow absent,
+                            // recovery is impossible — surface the fault
+                            // instead of panicking mid-train.
+                            let Some(snap) = snapshot.as_ref() else {
+                                return Err(NnError::NumericFault {
+                                    what,
+                                    epoch,
+                                    batch: batch_idx,
+                                });
+                            };
+                            *net = snap.clone();
                             let halved = opt.lr() * 0.5;
                             // Momentum velocities predate the restore
                             // point, so they are cleared with the reset.

@@ -1,0 +1,46 @@
+//! The workspace's single doorway to the wall clock.
+//!
+//! Every monotonic-time read outside `crates/obs` must go through
+//! [`now`] (enforced by `caplint` rule R004). Centralising clock
+//! access keeps timing observable from one place and leaves the door
+//! open for a virtual clock (deterministic replay, simulated time in
+//! tests) without hunting down scattered `Instant::now()` calls.
+//!
+//! Timing results never feed back into numerics, so this layer has no
+//! effect on bit-identical replay — the rule exists to keep it that
+//! way.
+
+use std::time::Instant;
+
+/// Reads the monotonic clock.
+///
+/// Identical to `Instant::now()` today; the indirection is the point
+/// (see module docs).
+#[inline]
+#[must_use]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// Seconds elapsed since `start`, as `f64`.
+///
+/// The common consumer shape: phase timings in `IterationRecord`,
+/// epoch timings in `EpochStats`.
+#[inline]
+#[must_use]
+pub fn elapsed_secs(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+        assert!(elapsed_secs(a) >= 0.0);
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
@@ -55,6 +56,7 @@
 //! Span names follow `crate.component.op` (see DESIGN.md §7), e.g.
 //! `tensor.matmul`, `nn.conv2d.forward`, `core.prune.finetune`.
 
+pub mod clock;
 pub mod expo;
 pub mod flight;
 pub mod fsx;

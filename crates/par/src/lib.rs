@@ -240,7 +240,7 @@ impl Latch {
     fn wait_until(&self, deadline: Instant) -> bool {
         let mut st = self.state.lock().unwrap();
         while st.remaining > 0 {
-            let now = Instant::now();
+            let now = cap_obs::clock::now();
             if now >= deadline {
                 return false;
             }
@@ -368,7 +368,7 @@ impl Pool {
             cap_obs::counter_add("par.tasks_submitted_total", count as u64);
         }
         let deadline_ms = batch_deadline_ms();
-        let batch_start = deadline_ms.map(|_| Instant::now());
+        let batch_start = deadline_ms.map(|_| cap_obs::clock::now());
         // Participate: drain jobs until this batch is complete. The FIFO
         // may interleave jobs of concurrent batches; helping them is
         // harmless and keeps every runnable task moving.
@@ -440,7 +440,7 @@ fn worker_loop(shared: &Shared, index: usize) {
         match job {
             Some(job) => {
                 if cap_obs::enabled() {
-                    let started = Instant::now();
+                    let started = cap_obs::clock::now();
                     job();
                     busy += started.elapsed();
                     tasks += 1;
