@@ -396,12 +396,38 @@ struct ObsRecord {
     ns_per_iter: f64,
 }
 
+/// Everything the observability benches produce for `BENCH_obs.json`.
+struct ObsSummary {
+    records: Vec<ObsRecord>,
+    scrape_mean_ns: f64,
+    scrape_max_ns: f64,
+    scrape_bytes: usize,
+    /// Server self-observation after the scrape loop.
+    requests_metrics: f64,
+    handle_us_count: f64,
+    handle_us_mean: f64,
+    /// History-recorder cost model: one full registry sample
+    /// (snapshot + buffered tsdb append) vs one smoke training epoch.
+    sample_ns: f64,
+    epoch_ns: f64,
+    overhead_fraction: f64,
+}
+
+impl ObsSummary {
+    /// Whether the recorder's steady-state cost stays under 1% of a
+    /// smoke epoch at the default cadence (the acceptance bound).
+    fn overhead_lt_1pct(&self) -> bool {
+        self.overhead_fraction < 0.01
+    }
+}
+
 /// Times the telemetry layer itself: the disabled fast path the hot
 /// loops always pay, the enabled path, and the enabled path with the
-/// flight recorder on; then `/metrics` scrape latency while a smoke
-/// training loop runs. Toggles global obs state, so it must run after
-/// every kernel measurement.
-fn run_obs_benches(opts: &Options) -> (Vec<ObsRecord>, f64, f64, usize) {
+/// flight recorder on; the series-store append (buffered and fsync'd)
+/// plus the recorder-vs-epoch overhead model; then `/metrics` scrape
+/// latency while a smoke training loop runs. Toggles global obs state,
+/// so it must run after every kernel measurement.
+fn run_obs_benches(opts: &Options) -> ObsSummary {
     let budget = Duration::from_millis(if opts.smoke { 30 } else { 200 });
     let max_iters = 2_000_000;
     let mut records = Vec::new();
@@ -443,6 +469,51 @@ fn run_obs_benches(opts: &Options) -> (Vec<ObsRecord>, f64, f64, usize) {
         black_box(&_s);
     });
 
+    // Series-store appends: the cost of one recorder sample, with and
+    // without the fsync that boundary samples pay. Uses the live
+    // registry snapshot, so the point count matches a real recording.
+    let tsdb_dir = std::env::temp_dir().join(format!("cap_bench_tsdb_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tsdb_dir);
+    std::fs::create_dir_all(&tsdb_dir).expect("create tsdb bench dir");
+    let mut writer =
+        cap_obs::tsdb::SeriesWriter::open(&tsdb_dir.join("series.capts")).expect("open series");
+    let mut tick = 0.0f64;
+    bench("tsdb_sample", "buffered", &mut || {
+        tick += 1.0;
+        writer
+            .append(tick, cap_obs::tsdb::snapshot_points(), false)
+            .expect("buffered append");
+    });
+    bench("tsdb_sample", "fsync", &mut || {
+        tick += 1.0;
+        writer
+            .append(tick, cap_obs::tsdb::snapshot_points(), true)
+            .expect("durable append");
+    });
+    drop(writer);
+    let _ = std::fs::remove_dir_all(&tsdb_dir);
+    let sample_ns = records
+        .iter()
+        .find(|r| r.op == "tsdb_sample" && r.mode == "buffered")
+        .map_or(0.0, |r| r.ns_per_iter);
+
+    // Recorder overhead model: cadence samples per second × cost per
+    // sample, relative to one smoke training epoch.
+    let epoch_ns = {
+        let (mut net, data, _) = scoring_setup(true);
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let t = cap_obs::clock::now();
+        cap_nn::fit(&mut net, data.train().images(), data.train().labels(), &cfg)
+            .expect("epoch fit");
+        t.elapsed().as_nanos() as f64
+    };
+    let samples_per_sec = 1000.0 / cap_obs::recorder::DEFAULT_INTERVAL_MS as f64;
+    let overhead_fraction = samples_per_sec * sample_ns / 1e9;
+
     // Scrape latency under load: serve on an ephemeral port while a
     // smoke-size training loop keeps the process busy, then time
     // repeated GET /metrics round-trips.
@@ -477,24 +548,41 @@ fn run_obs_benches(opts: &Options) -> (Vec<ObsRecord>, f64, f64, usize) {
     }
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     trainer.join().expect("trainer thread");
+    // Server self-observation: the per-route counters and handling
+    // histogram the scrape loop just exercised.
+    let self_points = cap_obs::tsdb::snapshot_points();
+    let point = |name: &str| {
+        self_points
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    let requests_metrics = point("obs.http.requests.metrics");
+    let handle_us_count = point("obs.http.handle_us.count");
+    let handle_us_mean = point("obs.http.handle_us.mean");
     cap_obs::serve::stop_global();
     cap_obs::flight::disable();
     cap_obs::disable();
-    (records, total_ns / scrapes as f64, max_ns, body_len)
+    ObsSummary {
+        records,
+        scrape_mean_ns: total_ns / scrapes as f64,
+        scrape_max_ns: max_ns,
+        scrape_bytes: body_len,
+        requests_metrics,
+        handle_us_count,
+        handle_us_mean,
+        sample_ns,
+        epoch_ns,
+        overhead_fraction,
+    }
 }
 
-fn write_obs_json(
-    opts: &Options,
-    records: &[ObsRecord],
-    scrape_mean_ns: f64,
-    scrape_max_ns: f64,
-    scrape_bytes: usize,
-) -> String {
+fn write_obs_json(opts: &Options, s: &ObsSummary) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"smoke\": ");
     out.push_str(if opts.smoke { "true" } else { "false" });
     out.push_str(",\n  \"overhead\": [\n");
-    for (i, r) in records.iter().enumerate() {
+    for (i, r) in s.records.iter().enumerate() {
         out.push_str("    {\"op\": ");
         write_str(&mut out, r.op);
         out.push_str(", \"mode\": ");
@@ -502,17 +590,37 @@ fn write_obs_json(
         out.push_str(", \"ns_per_iter\": ");
         write_f64(&mut out, r.ns_per_iter);
         out.push('}');
-        if i + 1 < records.len() {
+        if i + 1 < s.records.len() {
             out.push(',');
         }
         out.push('\n');
     }
     out.push_str("  ],\n  \"metrics_scrape\": {\"mean_ns\": ");
-    write_f64(&mut out, scrape_mean_ns);
+    write_f64(&mut out, s.scrape_mean_ns);
     out.push_str(", \"max_ns\": ");
-    write_f64(&mut out, scrape_max_ns);
+    write_f64(&mut out, s.scrape_max_ns);
     out.push_str(", \"body_bytes\": ");
-    out.push_str(&scrape_bytes.to_string());
+    out.push_str(&s.scrape_bytes.to_string());
+    out.push_str("},\n  \"recorder\": {\"sample_ns\": ");
+    write_f64(&mut out, s.sample_ns);
+    out.push_str(", \"interval_ms\": ");
+    out.push_str(&cap_obs::recorder::DEFAULT_INTERVAL_MS.to_string());
+    out.push_str(", \"epoch_ns\": ");
+    write_f64(&mut out, s.epoch_ns);
+    out.push_str(", \"overhead_fraction\": ");
+    write_f64(&mut out, s.overhead_fraction);
+    out.push_str(", \"overhead_lt_1pct\": ");
+    out.push_str(if s.overhead_lt_1pct() {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str("},\n  \"server\": {\"requests_metrics\": ");
+    write_f64(&mut out, s.requests_metrics);
+    out.push_str(", \"handle_us_count\": ");
+    write_f64(&mut out, s.handle_us_count);
+    out.push_str(", \"handle_us_mean\": ");
+    write_f64(&mut out, s.handle_us_mean);
     out.push_str("}\n}\n");
     out
 }
@@ -541,14 +649,14 @@ fn main() {
     }
     println!("wrote {}", opts.out);
 
-    let (obs_records, scrape_mean, scrape_max, scrape_bytes) = run_obs_benches(&opts);
-    let obs_json = write_obs_json(&opts, &obs_records, scrape_mean, scrape_max, scrape_bytes);
+    let obs = run_obs_benches(&opts);
+    let obs_json = write_obs_json(&opts, &obs);
     cap_obs::fsx::atomic_write(std::path::Path::new(&opts.obs_out), obs_json.as_bytes())
         .unwrap_or_else(|e| {
             eprintln!("failed to write {}: {e}", opts.obs_out);
             std::process::exit(1);
         });
-    for r in &obs_records {
+    for r in &obs.records {
         println!(
             "obs {:<14} {:<16} {:>10.1} ns/iter",
             r.op, r.mode, r.ns_per_iter
@@ -556,9 +664,20 @@ fn main() {
     }
     println!(
         "obs metrics_scrape mean {:.1} µs, max {:.1} µs, {} bytes",
-        scrape_mean / 1e3,
-        scrape_max / 1e3,
-        scrape_bytes
+        obs.scrape_mean_ns / 1e3,
+        obs.scrape_max_ns / 1e3,
+        obs.scrape_bytes
+    );
+    println!(
+        "obs recorder sample {:.1} µs vs epoch {:.1} ms: overhead {:.4}% ({})",
+        obs.sample_ns / 1e3,
+        obs.epoch_ns / 1e6,
+        obs.overhead_fraction * 100.0,
+        if obs.overhead_lt_1pct() {
+            "< 1%"
+        } else {
+            ">= 1%"
+        }
     );
     println!("wrote {}", opts.obs_out);
 }

@@ -351,6 +351,5 @@ fn main() -> Result<()> {
     // the exposition) and honours CAP_FLIGHT_DUMP; CI fails the run on
     // a broken scrape or dump.
     cap_bench::finalize_telemetry().map_err(|e| format!("telemetry finalisation failed: {e}"))?;
-    cap_obs::flush();
     Ok(())
 }

@@ -64,8 +64,10 @@ fn init(default_pretty: bool) {
 
 /// End-of-run counterpart to [`init_trace`]: when the live telemetry
 /// server is up, self-scrapes `/metrics` once (validating the
-/// exposition grammar), honours `CAP_FLIGHT_DUMP=<path>` by writing the
-/// flight-recorder chrome trace there, and shuts the server down.
+/// exposition grammar), then hands off to
+/// [`cap_obs::finalize_process`] — the shared shutdown path all
+/// binaries use — for the `CAP_FLIGHT_DUMP` dump, recorder/server
+/// shutdown, and sink flush.
 ///
 /// Returns an error instead of exiting so callers can decide whether a
 /// failed final scrape should fail the run (CI does).
@@ -87,18 +89,5 @@ pub fn finalize_telemetry() -> Result<(), String> {
                 );
             });
     }
-    if cap_obs::flight::enabled() {
-        if let Ok(path) = std::env::var("CAP_FLIGHT_DUMP") {
-            if !path.is_empty() {
-                let dump = cap_obs::flight::dump_to_file(&path);
-                cap_obs::emit(match &dump {
-                    Ok(()) => cap_obs::Event::new("flight_dump").str("path", path),
-                    Err(e) => cap_obs::Event::new("flight_dump").str("error", e.clone()),
-                });
-                result = result.and(dump);
-            }
-        }
-    }
-    cap_obs::serve::stop_global();
-    result
+    result.and(cap_obs::finalize_process())
 }

@@ -15,11 +15,12 @@
 //! bit-identical to the uninterrupted run, at any thread count.
 
 use crate::{
-    analyze_network, apply_site_pruning, evaluate_scores, find_prunable_sites, select_filters,
-    FlopsReport, NetworkScores, PruneError, PruneStrategy, ScoreConfig,
+    analyze_network, apply_site_pruning, evaluate_scores, evaluate_scores_with_attribution,
+    find_prunable_sites, select_filters, ClassAttribution, FlopsReport, NetworkScores, PruneError,
+    PruneSelection, PruneStrategy, ScoreConfig,
 };
 use cap_data::Dataset;
-use cap_nn::{evaluate, fit, Network, RunDir, TrainConfig};
+use cap_nn::{evaluate, fit, predict_all, ConfusionMatrix, Network, RunDir, TrainConfig};
 use cap_obs::json::Json;
 use std::collections::BTreeMap;
 
@@ -433,6 +434,13 @@ impl ClassAwarePruner {
                 .u64("max_iterations", cfg.max_iterations as u64),
         );
 
+        // Durable run history: persisted runs record a sampled time
+        // series (`series.capts`), per-class pruning attribution
+        // (`class_attribution.jsonl`) and alert rules (`alerts.jsonl`)
+        // alongside the journal. The guard stops the recorder and
+        // clears the rules however the loop exits.
+        let history = persist.map(|dir| RunHistory::start(dir, baseline_accuracy, cfg));
+
         let mut stop_reason = forced_stop.unwrap_or(StopReason::MaxIterations);
         let last_iteration = if forced_stop.is_some() {
             // Resume determined the run already ended (e.g. rollback):
@@ -448,12 +456,13 @@ impl ClassAwarePruner {
             cap_obs::gauge_set("core.prune.iteration", iteration as f64);
 
             let t_score = cap_obs::clock::now();
-            let (sites, scores, selection) = {
+            let (sites, scores, attribution, selection) = {
                 let _span = cap_obs::span!("core.prune.score");
                 let sites = find_prunable_sites(net);
-                let scores = evaluate_scores(net, &sites, train, &cfg.score)?;
+                let (scores, attribution) =
+                    evaluate_scores_with_attribution(net, &sites, train, &cfg.score)?;
                 let selection = select_filters(&scores, &cfg.strategy)?;
-                (sites, scores, selection)
+                (sites, scores, attribution, selection)
             };
             let secs_score = t_score.elapsed().as_secs_f64();
             if selection.is_empty() {
@@ -521,6 +530,9 @@ impl ClassAwarePruner {
             cap_obs::gauge_set("core.params", record.params as f64);
             cap_obs::gauge_set("core.accuracy", record.accuracy_after_finetune);
             cap_obs::gauge_set("core.remaining_filters", record.remaining_filters as f64);
+            if let Some(h) = history.as_ref() {
+                h.publish_iteration(&record, &scores, &attribution, &selection, net, test)?;
+            }
             if let Some(dir) = persist {
                 // Checkpoint first, then the journal line: a crash in
                 // between leaves an orphan checkpoint that resume
@@ -578,6 +590,178 @@ struct Baseline {
     accuracy: f64,
     cost: FlopsReport,
     scores: NetworkScores,
+}
+
+/// Consecutive bit-identical `core.prune.iteration` samples tolerated
+/// before the stall alert fires (~5 min at the default 250 ms cadence).
+const STALL_WINDOW: usize = 1200;
+/// Trailing sample-time window for the numeric-fault rate rule.
+const NAN_WINDOW_SECS: f64 = 3600.0;
+
+/// Run-history side of a persisted pruning run: owns the sampling
+/// recorder writing `<run-dir>/series.capts`, the alert rules feeding
+/// `<run-dir>/alerts.jsonl`, and the per-class attribution sidecar.
+/// Dropping it (any exit from the loop, including errors) stops the
+/// recorder and uninstalls the rules.
+struct RunHistory<'a> {
+    dir: &'a RunDir,
+    eval_batch: usize,
+    /// Whether *this* run started the process-global recorder (another
+    /// concurrent run may already own it; then we must not stop it).
+    recording: bool,
+}
+
+impl<'a> RunHistory<'a> {
+    fn start(dir: &'a RunDir, baseline_accuracy: f64, cfg: &PruneConfig) -> RunHistory<'a> {
+        let recording = match cap_obs::recorder::start_global(
+            &dir.root().join("series.capts"),
+            cap_obs::recorder::interval_from_env(),
+        ) {
+            Ok(started) => started,
+            Err(e) => {
+                // History is best-effort: a broken series file must not
+                // kill a pruning run that the journal keeps safe.
+                eprintln!("run history: recorder disabled: {e}");
+                false
+            }
+        };
+        cap_obs::alerts::install(
+            vec![
+                cap_obs::alerts::Rule {
+                    name: "numeric-faults".to_string(),
+                    kind: cap_obs::alerts::RuleKind::NanRate {
+                        series: "nn.numeric_faults_total".to_string(),
+                        max_increase: 0.0,
+                        window_secs: NAN_WINDOW_SECS,
+                    },
+                },
+                cap_obs::alerts::Rule {
+                    name: "accuracy-drop".to_string(),
+                    kind: cap_obs::alerts::RuleKind::AccuracyDrop {
+                        series: "core.accuracy".to_string(),
+                        baseline: baseline_accuracy,
+                        max_drop: cfg.accuracy_drop_limit,
+                    },
+                },
+                cap_obs::alerts::Rule {
+                    name: "iteration-stall".to_string(),
+                    kind: cap_obs::alerts::RuleKind::Stall {
+                        series: "core.prune.iteration".to_string(),
+                        window: STALL_WINDOW,
+                    },
+                },
+            ],
+            Some(dir.root().join("alerts.jsonl")),
+            Some(dir.root().join("flight_alert.json")),
+        );
+        RunHistory {
+            dir,
+            eval_batch: cfg.eval_batch,
+            recording,
+        }
+    }
+
+    /// Publishes the per-class view of one completed iteration:
+    /// `core.class_accuracy.<k>` gauges (recall on the test set),
+    /// `core.class_importance.<k>` gauges (mean `s_{f,n}` over all
+    /// scored filters), one `class_attribution.jsonl` line per removed
+    /// filter, and a durable boundary sample carrying it all.
+    fn publish_iteration(
+        &self,
+        record: &IterationRecord,
+        scores: &NetworkScores,
+        attribution: &ClassAttribution,
+        selection: &PruneSelection,
+        net: &mut Network,
+        test: &Dataset,
+    ) -> Result<(), PruneError> {
+        let classes = attribution.classes;
+        let preds = predict_all(net, test.images(), self.eval_batch)?;
+        let cm = ConfusionMatrix::from_predictions(&preds, test.labels(), classes)?;
+        for k in 0..classes {
+            if let Some(r) = cm.recall(k) {
+                cap_obs::gauge_set(&format!("core.class_accuracy.{k}"), r);
+            }
+        }
+        // Mean importance per class over every scored filter: the
+        // dashboard heatmap row for this iteration.
+        let mut sums = vec![0.0f64; classes];
+        let mut filters = 0usize;
+        for site in &attribution.sites {
+            for row in &site.per_class {
+                for (s, &v) in sums.iter_mut().zip(row.iter()) {
+                    *s += v;
+                }
+            }
+            filters += site.per_class.len();
+        }
+        if filters > 0 {
+            for (k, s) in sums.iter().enumerate() {
+                cap_obs::gauge_set(&format!("core.class_importance.{k}"), s / filters as f64);
+            }
+        }
+        for (si, removed) in selection.remove.iter().enumerate() {
+            for &f in removed {
+                let line = attribution_line(
+                    record.iteration,
+                    &scores.sites[si].label,
+                    f,
+                    scores.sites[si].scores[f],
+                    &attribution.sites[si].per_class[f],
+                    attribution.top_class(si, f),
+                );
+                self.dir
+                    .append_jsonl("class_attribution.jsonl", &line)
+                    .map_err(persist_err)?;
+            }
+        }
+        cap_obs::recorder::record_boundary_sample();
+        Ok(())
+    }
+}
+
+impl Drop for RunHistory<'_> {
+    fn drop(&mut self) {
+        if self.recording {
+            cap_obs::recorder::stop_global();
+        }
+        cap_obs::alerts::clear();
+    }
+}
+
+/// One `class_attribution.jsonl` record. Floats use shortest-roundtrip
+/// `Display`, so readers recover the exact `s_{f,n}` the run computed.
+fn attribution_line(
+    iteration: usize,
+    site: &str,
+    filter: usize,
+    score: f64,
+    class_scores: &[f64],
+    top_class: Option<usize>,
+) -> String {
+    let mut out = String::with_capacity(96 + 8 * class_scores.len());
+    out.push_str("{\"type\":\"attribution\",\"iteration\":");
+    out.push_str(&iteration.to_string());
+    out.push_str(",\"site\":");
+    cap_obs::json::write_str(&mut out, site);
+    out.push_str(",\"filter\":");
+    out.push_str(&filter.to_string());
+    out.push_str(",\"score\":");
+    cap_obs::json::write_f64(&mut out, score);
+    out.push_str(",\"class_scores\":[");
+    for (i, &v) in class_scores.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        cap_obs::json::write_f64(&mut out, v);
+    }
+    out.push_str("],\"top_class\":");
+    match top_class {
+        Some(k) => out.push_str(&k.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
 }
 
 /// Maps a run-dir failure into [`PruneError::Persistence`], flattening
@@ -985,6 +1169,72 @@ mod tests {
         ));
 
         let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn run_with_dir_writes_series_attribution_and_alert_state() {
+        let _guard = cap_obs::test_lock();
+        let data = tiny_data();
+        let mut net = tiny_net();
+        fit(
+            &mut net,
+            data.train().images(),
+            data.train().labels(),
+            &TrainConfig {
+                epochs: 2,
+                batch_size: 20,
+                lr: 0.02,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
+        let pruner = ClassAwarePruner::new(PruneConfig {
+            strategy: PruneStrategy::Percentage { fraction: 0.2 },
+            ..quick_config()
+        })
+        .unwrap();
+        let root = std::env::temp_dir().join(format!("cap_history_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let dir = RunDir::create(&root).unwrap();
+        let outcome = pruner
+            .run_with_dir(&mut net, data.train(), data.test(), &dir)
+            .unwrap();
+        assert!(!outcome.iterations.is_empty());
+        // The recorder and rules are torn down when drive() returns.
+        assert!(!cap_obs::recorder::active());
+        assert!(cap_obs::alerts::fired().is_empty());
+
+        // series.capts: at least start + one boundary per iteration +
+        // stop, seq contiguous from 0, carrying the per-class gauges.
+        let samples = cap_obs::tsdb::read_samples(&root.join("series.capts")).unwrap();
+        assert!(
+            samples.len() >= outcome.iterations.len() + 2,
+            "only {} samples",
+            samples.len()
+        );
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+        }
+        let last = samples.last().unwrap();
+        assert!(last.value("core.prune.iteration").is_some());
+        assert!(last.value("core.class_accuracy.0").is_some());
+        assert!(last.value("core.class_importance.0").is_some());
+
+        // class_attribution.jsonl: one parseable record per removed
+        // filter, class_scores matching the dataset's class count.
+        let text = std::fs::read_to_string(root.join("class_attribution.jsonl")).unwrap();
+        let removed: usize = outcome.iterations.iter().map(|r| r.removed_filters).sum();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), removed);
+        for line in lines {
+            let j = cap_obs::json::parse(line).unwrap();
+            assert_eq!(j.get("type").and_then(Json::as_str), Some("attribution"));
+            assert!(j.get("iteration").and_then(Json::as_u64).is_some());
+            assert!(j.get("score").and_then(Json::as_f64).is_some());
+        }
+        // No alert fired in a healthy run: no alerts.jsonl.
+        assert!(!root.join("alerts.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

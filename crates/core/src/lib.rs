@@ -61,7 +61,10 @@ pub use error::PruneError;
 pub use flops::{analyze_network, FlopsReport, LayerCost};
 pub use framework::{ClassAwarePruner, IterationRecord, PruneConfig, PruneOutcome, StopReason};
 pub use report::{layerwise_mean_scores, ScoreHistogram};
-pub use score::{evaluate_scores, NetworkScores, ScoreConfig, SiteScores, TauMode};
+pub use score::{
+    evaluate_scores, evaluate_scores_with_attribution, ClassAttribution, NetworkScores,
+    ScoreConfig, SiteAttribution, SiteScores, TauMode,
+};
 pub use site::{apply_site_pruning, find_prunable_sites, PrunableSite, SiteKind};
 pub use strategy::{select_filters, threshold_for_classes, PruneSelection, PruneStrategy};
 pub use unstructured::{prune_weights_by_magnitude, sparsity, SparsityReport};

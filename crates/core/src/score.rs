@@ -145,6 +145,44 @@ impl NetworkScores {
     }
 }
 
+/// The per-class score breakdown of one site: `per_class[f][n]` is
+/// `s_{f,n}` (Eq. 7) for filter `f` and class `n` — the matrix the
+/// summed [`SiteScores`] collapse, kept so "which classes made this
+/// filter important (or not)" stays answerable after pruning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteAttribution {
+    /// The site's label (mirrors [`PrunableSite::label`]).
+    pub label: String,
+    /// `s_{f,n}` per `[filter][class]`, each in `[0, 1]`.
+    pub per_class: Vec<Vec<f64>>,
+}
+
+/// Per-class attribution for every scored site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassAttribution {
+    /// Per-site matrices, aligned with [`NetworkScores::sites`].
+    pub sites: Vec<SiteAttribution>,
+    /// Number of classes (the inner dimension).
+    pub classes: usize,
+}
+
+impl ClassAttribution {
+    /// The class with the largest `s_{f,n}` for `filter` at `site`
+    /// (ties break to the lowest class index; `None` out of range or
+    /// when every class scores zero).
+    pub fn top_class(&self, site: usize, filter: usize) -> Option<usize> {
+        let row = self.sites.get(site)?.per_class.get(filter)?;
+        let (mut best_class, mut best) = (None, 0.0f64);
+        for (n, &v) in row.iter().enumerate() {
+            if v > best {
+                best = v;
+                best_class = Some(n);
+            }
+        }
+        best_class
+    }
+}
+
 /// Evaluates class-aware importance scores for the given sites.
 ///
 /// The network is treated as frozen: forward passes run in eval mode and
@@ -163,6 +201,25 @@ pub fn evaluate_scores(
     data: &Dataset,
     cfg: &ScoreConfig,
 ) -> Result<NetworkScores, PruneError> {
+    Ok(evaluate_scores_with_attribution(net, sites, data, cfg)?.0)
+}
+
+/// [`evaluate_scores`] keeping the per-class breakdown alongside the
+/// summed totals. `scores.sites[i].scores[f]` is exactly the sum of
+/// `attribution.sites[i].per_class[f]` in class order (same additions,
+/// same order — bit-identical to [`evaluate_scores`] at any thread
+/// count).
+///
+/// # Errors
+///
+/// Propagates dataset sampling errors, network shape errors and
+/// configuration errors.
+pub fn evaluate_scores_with_attribution(
+    net: &mut Network,
+    sites: &[PrunableSite],
+    data: &Dataset,
+    cfg: &ScoreConfig,
+) -> Result<(NetworkScores, ClassAttribution), PruneError> {
     cfg.validate()?;
     let classes = data.classes();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -177,6 +234,13 @@ pub fn evaluate_scores(
             })
         })
         .collect::<Result<_, PruneError>>()?;
+    let mut per_site_attr: Vec<SiteAttribution> = per_site
+        .iter()
+        .map(|s| SiteAttribution {
+            label: s.label.clone(),
+            per_class: vec![vec![0.0; classes]; s.scores.len()],
+        })
+        .collect();
 
     net.set_record_activations(true);
     let result = (|| -> Result<(), PruneError> {
@@ -188,7 +252,11 @@ pub fn evaluate_scores(
             let out = loss_fn.forward(&logits, &labels)?;
             net.zero_grad();
             net.backward(&out.grad)?;
-            for (site, acc) in sites.iter().zip(per_site.iter_mut()) {
+            for ((site, acc), attr) in sites
+                .iter()
+                .zip(per_site.iter_mut())
+                .zip(per_site_attr.iter_mut())
+            {
                 let conv = site.conv(net)?;
                 let a = conv
                     .recorded_output()
@@ -200,7 +268,19 @@ pub fn evaluate_scores(
                         .ok_or_else(|| PruneError::UnsupportedTopology {
                             reason: format!("site {} did not record gradients", site.label),
                         })?;
-                accumulate_site_class_score(acc, a.data(), g.data(), m, cfg.tau);
+                let contrib =
+                    site_class_contributions(acc.scores.len(), a.data(), g.data(), m, cfg.tau);
+                // The same addition, in the same order, as the old
+                // in-place accumulation — bit-identical totals.
+                for ((score, row), &c) in acc
+                    .scores
+                    .iter_mut()
+                    .zip(attr.per_class.iter_mut())
+                    .zip(contrib.iter())
+                {
+                    *score += c;
+                    row[class] = c;
+                }
             }
         }
         Ok(())
@@ -209,24 +289,31 @@ pub fn evaluate_scores(
     net.zero_grad();
     result?;
 
-    Ok(NetworkScores {
-        sites: per_site,
-        classes,
-    })
+    Ok((
+        NetworkScores {
+            sites: per_site,
+            classes,
+        },
+        ClassAttribution {
+            sites: per_site_attr,
+            classes,
+        },
+    ))
 }
 
-/// Adds `s_{f,n}` (Eq. 5–7) for one class to the accumulated scores of a
-/// site, given flat NCHW activation and gradient buffers for `m` samples.
-fn accumulate_site_class_score(
-    acc: &mut SiteScores,
+/// Computes `s_{f,n}` (Eq. 5–7) for one class and every filter of a
+/// site, given flat NCHW activation and gradient buffers for `m`
+/// samples. Returns one value per filter.
+fn site_class_contributions(
+    filters: usize,
     activations: &[f32],
     grads: &[f32],
     m: usize,
     tau_mode: TauMode,
-) {
-    let filters = acc.scores.len();
+) -> Vec<f64> {
+    let mut contrib = vec![0.0f64; filters];
     if filters == 0 || m == 0 {
-        return;
+        return contrib;
     }
     let tau = match tau_mode {
         TauMode::Absolute(v) => v,
@@ -244,8 +331,8 @@ fn accumulate_site_class_score(
     // bit-identical for any thread count. (The class loop above stays
     // serial to preserve the rng sampling sequence exactly.)
     let chunk = filters.div_ceil(cap_par::effective_parallelism());
-    cap_par::parallel_chunks_mut(&mut acc.scores, chunk, |ci, scores| {
-        for (j, score) in scores.iter_mut().enumerate() {
+    cap_par::parallel_chunks_mut(&mut contrib, chunk, |ci, slots| {
+        for (j, slot) in slots.iter_mut().enumerate() {
             let f = ci * chunk + j;
             // s_ave over positions; track the max on the fly (Eq. 6-7).
             let mut best = 0.0f64;
@@ -266,9 +353,10 @@ fn accumulate_site_class_score(
                     }
                 }
             }
-            *score += best;
+            *slot = best;
         }
     });
+    contrib
 }
 
 #[cfg(test)]
@@ -363,6 +451,73 @@ mod tests {
         for ((_, _, a), (_, _, b)) in serial.iter_scores().zip(parallel.iter_scores()) {
             assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn attribution_rows_sum_to_totals_bit_exactly() {
+        let data = tiny_data();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = tiny_net(&mut rng);
+        let sites = find_prunable_sites(&net);
+        let (scores, attr) = evaluate_scores_with_attribution(
+            &mut net,
+            &sites,
+            data.train(),
+            &ScoreConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(attr.classes, scores.classes);
+        assert_eq!(attr.sites.len(), scores.sites.len());
+        for (site, asite) in scores.sites.iter().zip(attr.sites.iter()) {
+            assert_eq!(site.label, asite.label);
+            for (f, &total) in site.scores.iter().enumerate() {
+                // Fold in class order: the exact additions the totals ran.
+                let mut sum = 0.0f64;
+                for &c in &asite.per_class[f] {
+                    assert!((0.0..=1.0).contains(&c), "s_f,n {c} out of range");
+                    sum += c;
+                }
+                assert_eq!(sum.to_bits(), total.to_bits(), "{sum} vs {total}");
+            }
+        }
+    }
+
+    #[test]
+    fn attribution_matches_plain_scores_and_threads() {
+        let data = tiny_data();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = tiny_net(&mut rng);
+        let sites = find_prunable_sites(&net);
+        let plain =
+            evaluate_scores(&mut net, &sites, data.train(), &ScoreConfig::default()).unwrap();
+        let prior = cap_par::threads();
+        cap_par::set_threads(1);
+        let (with1, attr1) = evaluate_scores_with_attribution(
+            &mut net,
+            &sites,
+            data.train(),
+            &ScoreConfig::default(),
+        )
+        .unwrap();
+        cap_par::set_threads(4);
+        let (with4, attr4) = evaluate_scores_with_attribution(
+            &mut net,
+            &sites,
+            data.train(),
+            &ScoreConfig::default(),
+        )
+        .unwrap();
+        cap_par::set_threads(prior);
+        assert_eq!(plain, with1);
+        assert_eq!(with1, with4);
+        assert_eq!(attr1, attr4);
+        // top_class is in range and consistent with the matrix argmax.
+        if let Some(top) = attr1.top_class(0, 0) {
+            assert!(top < attr1.classes);
+            let row = &attr1.sites[0].per_class[0];
+            assert!(row.iter().all(|&v| v <= row[top]));
+        }
+        assert_eq!(attr1.top_class(99, 0), None);
     }
 
     #[test]

@@ -52,7 +52,8 @@ fn descend(root: &Path, dir: &Path, in_vendor: bool, out: &mut Vec<Entry>) -> st
         } else if ty.is_file() {
             let manifest = name == "Cargo.toml";
             let rust = name.ends_with(".rs");
-            if !(manifest || rust) || (in_vendor && !manifest) {
+            // Keep manifests anywhere; keep .rs only outside vendor/.
+            if !(manifest || (rust && !in_vendor)) {
                 continue;
             }
             let rel = path

@@ -75,8 +75,8 @@ fn rule_scoping_exempts_the_designated_homes() {
         ("r002_violation.rs", "crates/obs/src/fsx.rs"),
         // The telemetry layer owns the wall clock.
         ("r004_violation.rs", "crates/obs/src/serve.rs"),
-        // R005 binds hot-path crates only, not e.g. cap-data.
-        ("r005_violation.rs", "crates/data/src/lib.rs"),
+        // R005 binds hot-path crates only, not e.g. the bench harness.
+        ("r005_violation.rs", "crates/bench/src/lib.rs"),
     ];
     for &(name, path) in cases {
         let src = fixture(name);

@@ -58,4 +58,4 @@ pub use network::Network;
 pub use optimizer::{Adam, Sgd};
 pub use regularizer::{kernel_gram_residual_grad, kernel_gram_residual_sq, RegularizerConfig};
 pub use rundir::{RunDir, RunDirError};
-pub use train::{evaluate, fit, gather_batch, EpochStats, FaultPolicy, TrainConfig};
+pub use train::{evaluate, fit, gather_batch, predict_all, EpochStats, FaultPolicy, TrainConfig};

@@ -340,6 +340,41 @@ impl RunDir {
         Ok(())
     }
 
+    /// Appends one JSON object line to a named sidecar JSONL file in
+    /// the run directory (e.g. `class_attribution.jsonl`,
+    /// `alerts.jsonl`) and fsyncs it. Sidecars follow the same
+    /// durability discipline as the journal but are not consulted by
+    /// resume, so extra history never blocks replaying a run.
+    ///
+    /// # Errors
+    ///
+    /// Rejects embedded newlines and path-like names
+    /// ([`RunDirError::Corrupt`]) and propagates I/O errors.
+    pub fn append_jsonl(&self, file_name: &str, line: &str) -> Result<(), RunDirError> {
+        if line.contains('\n') {
+            return Err(RunDirError::Corrupt {
+                reason: "sidecar records must be single lines".to_string(),
+            });
+        }
+        if file_name.is_empty()
+            || !file_name.ends_with(".jsonl")
+            || file_name.contains(['/', '\\'])
+            || file_name.contains("..")
+        {
+            return Err(RunDirError::Corrupt {
+                reason: format!("bad sidecar name {file_name:?} (want <name>.jsonl)"),
+            });
+        }
+        let path = self.root.join(file_name);
+        let ctx = format!("append {}", path.display());
+        let mut file = cap_obs::fsx::AppendFile::open(&path).map_err(io_err(ctx.clone()))?;
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        file.append_durable(&buf).map_err(io_err(ctx))?;
+        Ok(())
+    }
+
     /// Reads the journal as parsed JSON records. A torn *final* line —
     /// the signature of a crash mid-append — is ignored; a malformed
     /// line anywhere else is corruption.
@@ -507,6 +542,29 @@ mod tests {
             dir.save_generation(gen, &net).unwrap();
         }
         assert_eq!(dir.generations(), vec![0, 4, 5]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sidecar_jsonl_appends_and_validates_names() {
+        let root = scratch("sidecar");
+        let dir = RunDir::create(&root).unwrap();
+        dir.append_jsonl("class_attribution.jsonl", "{\"iteration\":1}")
+            .unwrap();
+        dir.append_jsonl("class_attribution.jsonl", "{\"iteration\":2}")
+            .unwrap();
+        let text = std::fs::read_to_string(root.join("class_attribution.jsonl")).unwrap();
+        assert_eq!(text, "{\"iteration\":1}\n{\"iteration\":2}\n");
+        for bad in ["", "notes.txt", "a/b.jsonl", "..\\x.jsonl", "..x/.jsonl"] {
+            assert!(
+                matches!(
+                    dir.append_jsonl(bad, "{}"),
+                    Err(RunDirError::Corrupt { .. })
+                ),
+                "{bad:?} accepted"
+            );
+        }
+        assert!(dir.append_jsonl("ok.jsonl", "a\nb").is_err());
         let _ = std::fs::remove_dir_all(&root);
     }
 

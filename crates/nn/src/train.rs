@@ -375,6 +375,71 @@ pub fn evaluate(
     Ok(correct as f64 / labels.len() as f64)
 }
 
+/// Predicts a class for every sample, in sample order.
+///
+/// Shards batches across threads exactly like [`evaluate`] (contiguous
+/// batch runs on cloned replicas), so the prediction vector is
+/// identical at any thread count. Callers that need per-class accuracy
+/// feed the result to [`crate::metrics::ConfusionMatrix`].
+///
+/// # Errors
+///
+/// Returns [`NnError::BadLabels`] on an empty or non-NCHW batch and
+/// propagates forward-pass shape errors.
+pub fn predict_all(
+    net: &mut Network,
+    images: &Tensor,
+    batch_size: usize,
+) -> Result<Vec<usize>, NnError> {
+    if images.ndim() != 4 || images.dim(0) == 0 {
+        return Err(NnError::BadLabels {
+            reason: "empty or non-NCHW image batch".to_string(),
+        });
+    }
+    let _span = cap_obs::span!("nn.predict_all");
+    let n = images.dim(0);
+    let bs = batch_size.max(1);
+    let num_batches = n.div_ceil(bs);
+    let groups = cap_par::effective_parallelism().min(num_batches);
+    if groups <= 1 {
+        return predict_batches(net, images, n, bs, 0, num_batches);
+    }
+    let batches_per_group = num_batches.div_ceil(groups);
+    let net_ref = &*net;
+    let partials = cap_par::parallel_map(groups, |g| {
+        let start = g * batches_per_group;
+        let end = ((g + 1) * batches_per_group).min(num_batches);
+        let mut replica = net_ref.clone();
+        predict_batches(&mut replica, images, n, bs, start, end)
+    });
+    let mut preds = Vec::with_capacity(n);
+    for partial in partials {
+        preds.extend(partial?);
+    }
+    Ok(preds)
+}
+
+/// Predicts batches `start .. end`, returning predictions in sample
+/// order for the covered range.
+fn predict_batches(
+    net: &mut Network,
+    images: &Tensor,
+    n: usize,
+    bs: usize,
+    start: usize,
+    end: usize,
+) -> Result<Vec<usize>, NnError> {
+    let mut preds = Vec::new();
+    for bi in start..end {
+        let lo = bi * bs;
+        let hi = ((bi + 1) * bs).min(n);
+        let chunk: Vec<usize> = (lo..hi).collect();
+        let x = gather_batch(images, &chunk)?;
+        preds.extend(net.predict(&x)?);
+    }
+    Ok(preds)
+}
+
 /// Counts correct predictions over batches `start .. end` (batch `i`
 /// covers samples `i*bs .. min((i+1)*bs, len)`).
 fn evaluate_batches(
@@ -445,6 +510,29 @@ mod tests {
         assert!(acc > 0.9, "accuracy {acc}");
         // Loss must decrease overall.
         assert!(history.last().unwrap().loss < history[0].loss);
+    }
+
+    #[test]
+    fn predict_all_agrees_with_evaluate_at_any_thread_count() {
+        let (mut net, images, labels) = toy_problem();
+        let prior = cap_par::threads();
+        cap_par::set_threads(1);
+        let serial = predict_all(&mut net, &images, 5).unwrap();
+        cap_par::set_threads(4);
+        let parallel = predict_all(&mut net, &images, 5).unwrap();
+        cap_par::set_threads(prior);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), labels.len());
+        let acc = evaluate(&mut net, &images, &labels, 5).unwrap();
+        let agree = serial
+            .iter()
+            .zip(labels.iter())
+            .filter(|(p, l)| p == l)
+            .count();
+        assert_eq!(agree as f64 / labels.len() as f64, acc);
+        // Input validation mirrors evaluate's.
+        let empty = Tensor::zeros(&[0, 1, 6, 6]);
+        assert!(predict_all(&mut net, &empty, 5).is_err());
     }
 
     #[test]

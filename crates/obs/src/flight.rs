@@ -130,6 +130,19 @@ pub fn enable_with_capacity(capacity: usize) {
     FLIGHT_ENABLED.store(true, Ordering::Release);
 }
 
+/// Turns the recorder on with the per-thread capacity from the
+/// `CAP_FLIGHT_CAP` environment variable (a positive record count);
+/// falls back to [`DEFAULT_CAPACITY`] when unset or unparsable.
+pub fn enable_from_env() {
+    match std::env::var("CAP_FLIGHT_CAP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => enable_with_capacity(n),
+        _ => enable(),
+    }
+}
+
 /// Turns the recorder off (rings keep their contents for export).
 pub fn disable() {
     FLIGHT_ENABLED.store(false, Ordering::Release);

@@ -65,6 +65,74 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
     Ok(())
 }
 
+/// An append-only file handle for durable logs (journals, series,
+/// alert streams).
+///
+/// Complements [`atomic_write`]: where that replaces a whole file
+/// atomically, `AppendFile` grows one incrementally. Crash safety is
+/// the reader's job — every workspace append format is framed or
+/// line-delimited so a torn tail from a crash mid-append is detected
+/// and discarded on the next open. [`AppendFile::sync`] (or
+/// [`AppendFile::append_durable`]) forces the written bytes to disk
+/// when the caller needs a durability point.
+#[derive(Debug)]
+pub struct AppendFile {
+    file: std::fs::File,
+}
+
+impl AppendFile {
+    /// Opens `path` for appending, creating it if absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn open(path: &Path) -> std::io::Result<AppendFile> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(AppendFile { file })
+    }
+
+    /// Appends `bytes` without forcing them to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn append(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(bytes)
+    }
+
+    /// Appends `bytes` and fsyncs the file, making the write durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn append_durable(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.file.sync_all()
+    }
+
+    /// Forces everything appended so far to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_all()
+    }
+
+    /// Truncates the file to `len` bytes (used by openers that detect a
+    /// torn tail) and seeks the append position accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn truncate(&mut self, len: u64) -> std::io::Result<()> {
+        self.file.set_len(len)
+    }
+}
+
 /// [`atomic_write`] with a `String` error for callers in the
 /// `Result<_, String>` style used by the dump paths.
 ///

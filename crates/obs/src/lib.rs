@@ -56,14 +56,18 @@
 //! Span names follow `crate.component.op` (see DESIGN.md §7), e.g.
 //! `tensor.matmul`, `nn.conv2d.forward`, `core.prune.finetune`.
 
+pub mod alerts;
 pub mod clock;
+pub mod dash;
 pub mod expo;
 pub mod flight;
 pub mod fsx;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod serve;
 pub mod sink;
+pub mod tsdb;
 
 mod event;
 mod span;
@@ -354,6 +358,40 @@ pub fn init_telemetry(cli_trace: Option<&str>) -> Result<Telemetry, String> {
         _ => None,
     };
     Ok(Telemetry { tracing, serving })
+}
+
+/// The shared end-of-process counterpart to [`init_telemetry`], routed
+/// through by `capctl` and `cap-bench`'s `finalize_telemetry` so every
+/// binary tears telemetry down the same way:
+///
+/// 1. honours `CAP_FLIGHT_DUMP=<path>` by writing the flight-recorder
+///    chrome trace there (emitting a `flight_dump` event either way);
+/// 2. stops the sampling [`recorder`] (final fsync'd sample);
+/// 3. stops the global [`serve`] server;
+/// 4. flushes the event sink.
+///
+/// # Errors
+///
+/// Returns the flight-dump failure, after still running the remaining
+/// shutdown steps.
+pub fn finalize_process() -> Result<(), String> {
+    let mut result = Ok(());
+    if flight::enabled() {
+        if let Ok(path) = std::env::var("CAP_FLIGHT_DUMP") {
+            if !path.is_empty() {
+                let dump = flight::dump_to_file(&path);
+                emit(match &dump {
+                    Ok(()) => Event::new("flight_dump").str("path", path),
+                    Err(e) => Event::new("flight_dump").str("error", e.clone()),
+                });
+                result = dump;
+            }
+        }
+    }
+    recorder::stop_global();
+    serve::stop_global();
+    flush();
+    result
 }
 
 #[cfg(test)]

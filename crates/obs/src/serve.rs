@@ -9,6 +9,12 @@
 //! | `/healthz` | liveness | `ok` |
 //! | `/report` | uptime + metrics + span tree | JSON (hand-rolled writer) |
 //! | `/trace` | the flight recorder | chrome://tracing trace-event JSON |
+//! | `/api/series` | recorded history ([`crate::recorder`]) | JSON (`?name=<series>&from=<seq>&to=<seq>&downsample=<n>`) |
+//! | `/dash` | run-history dashboard ([`crate::dash`]) | self-contained HTML |
+//!
+//! The server also observes itself: every request bumps a per-route
+//! counter (`obs.http.requests.<route>`) and records its handling time
+//! into the `obs.http.handle_us` histogram, both visible in `/metrics`.
 //!
 //! The server only *reads* shared state, so leaving it running cannot
 //! affect workload results — the determinism contract of `cap-par`
@@ -131,8 +137,11 @@ fn handle_connection(mut stream: TcpStream) {
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
+    let started = crate::clock::now();
     let (status, content_type, body) = route(method, path);
     crate::counter_add("obs.http_requests_total", 1);
+    crate::counter_add(route_counter(path), 1);
+    crate::histogram_record("obs.http.handle_us", started.elapsed().as_secs_f64() * 1e6);
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -140,6 +149,20 @@ fn handle_connection(mut stream: TcpStream) {
     let _ = stream.write_all(response.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+}
+
+/// The self-observation counter for `path` (static names only — a
+/// hostile path must not mint unbounded metric names).
+fn route_counter(path: &str) -> &'static str {
+    match path.split('?').next().unwrap_or("") {
+        "/metrics" => "obs.http.requests.metrics",
+        "/healthz" => "obs.http.requests.healthz",
+        "/report" => "obs.http.requests.report",
+        "/trace" => "obs.http.requests.trace",
+        "/api/series" => "obs.http.requests.api_series",
+        "/dash" => "obs.http.requests.dash",
+        _ => "obs.http.requests.other",
+    }
 }
 
 fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
@@ -150,7 +173,11 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "only GET is supported\n".to_string(),
         );
     }
-    match path.split('?').next().unwrap_or("") {
+    let (base, query) = match path.split_once('?') {
+        Some((b, q)) => (b, q),
+        None => (path, ""),
+    };
+    match base {
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
@@ -163,12 +190,100 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "application/json; charset=utf-8",
             crate::flight::export_chrome_trace(),
         ),
+        "/api/series" => match series_json(query) {
+            Ok(body) => ("200 OK", "application/json; charset=utf-8", body),
+            Err(e) => (
+                "400 Bad Request",
+                "text/plain; charset=utf-8",
+                format!("bad query: {e}\n"),
+            ),
+        },
+        "/dash" => (
+            "200 OK",
+            "text/html; charset=utf-8",
+            crate::dash::render(&crate::recorder::memory_samples(), "live"),
+        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "routes: /metrics /healthz /report /trace\n".to_string(),
+            "routes: /metrics /healthz /report /trace /api/series /dash\n".to_string(),
         ),
     }
+}
+
+/// Upper bound on an `/api/series` query string.
+const MAX_QUERY_BYTES: usize = 1024;
+/// Upper bound on the `downsample` parameter.
+const MAX_DOWNSAMPLE: u64 = 100_000;
+
+/// Parses and answers an `/api/series` query over the recorder's
+/// in-memory history. The response is byte-stable: same history, same
+/// query → identical bytes (sorted data, shortest-round-trip floats).
+fn series_json(query: &str) -> Result<String, String> {
+    if query.len() > MAX_QUERY_BYTES {
+        return Err(format!(
+            "query string over {MAX_QUERY_BYTES} bytes ({})",
+            query.len()
+        ));
+    }
+    let mut name: Option<&str> = None;
+    let mut from: Option<u64> = None;
+    let mut to: Option<u64> = None;
+    let mut downsample: usize = 0;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("expected key=value, got {pair:?}"))?;
+        match key {
+            "name" => {
+                if value.is_empty() || value.len() > 256 {
+                    return Err("name must be 1..=256 bytes".to_string());
+                }
+                if !value
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b':')
+                {
+                    return Err("name may only contain [A-Za-z0-9._:]".to_string());
+                }
+                name = Some(value);
+            }
+            "from" => from = Some(value.parse().map_err(|_| format!("bad from {value:?}"))?),
+            "to" => to = Some(value.parse().map_err(|_| format!("bad to {value:?}"))?),
+            "downsample" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("bad downsample {value:?}"))?;
+                if n == 0 || n > MAX_DOWNSAMPLE {
+                    return Err(format!("downsample must be 1..={MAX_DOWNSAMPLE}"));
+                }
+                downsample = n as usize;
+            }
+            other => return Err(format!("unknown parameter {other:?}")),
+        }
+    }
+    let name = name.ok_or_else(|| "missing required parameter name".to_string())?;
+    let samples = crate::recorder::memory_samples();
+    let points = crate::tsdb::query(&samples, name, from, to, downsample);
+    let mut out = String::with_capacity(64 + points.len() * 24);
+    out.push_str("{\"name\":");
+    json::write_str(&mut out, name);
+    out.push_str(",\"samples\":");
+    out.push_str(&samples.len().to_string());
+    out.push_str(",\"points\":[");
+    for (i, (seq, t, value)) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&seq.to_string());
+        out.push(',');
+        json::write_f64(&mut out, *t);
+        out.push(',');
+        json::write_f64(&mut out, *value);
+        out.push(']');
+    }
+    out.push_str("]}\n");
+    Ok(out)
 }
 
 /// The `/report` body: uptime, every metric (sorted-name order, same
@@ -233,7 +348,7 @@ fn global_slot() -> &'static Mutex<Option<Server>> {
 /// Propagates [`Server::start`] errors.
 pub fn start_global(addr: &str) -> Result<SocketAddr, String> {
     let server = Server::start(addr)?;
-    crate::flight::enable();
+    crate::flight::enable_from_env();
     let bound = server.addr();
     let mut slot = global_slot().lock().unwrap();
     if let Some(old) = slot.take() {
@@ -316,6 +431,56 @@ mod tests {
         assert!(status.starts_with("405"));
         let (status, _, _) = route("GET", "/metrics?x=1");
         assert!(status.starts_with("200"));
+    }
+
+    #[test]
+    fn api_series_queries_are_validated() {
+        // Parameter validation is independent of recorder state.
+        assert!(series_json("").is_err(), "name is required");
+        assert!(series_json("name=").is_err());
+        assert!(series_json("name=ok;drop").is_err(), "hostile charset");
+        assert!(series_json("name=a&bogus=1").is_err(), "unknown parameter");
+        assert!(series_json("name=a&from=x").is_err());
+        assert!(series_json("name=a&downsample=0").is_err());
+        assert!(series_json("name=a&downsample=999999999").is_err());
+        assert!(series_json("noequals").is_err());
+        let huge = format!("name={}", "a".repeat(2000));
+        assert!(series_json(&huge).is_err(), "oversized query");
+        let long_name = format!("name={}", "a".repeat(300));
+        assert!(series_json(&long_name).is_err(), "oversized name");
+
+        let (status, _, _) = route("GET", "/api/series?name=a&bogus=1");
+        assert!(status.starts_with("400"), "{status}");
+        let (status, _, body) = route("GET", "/api/series?name=nn.fit.loss");
+        assert!(status.starts_with("200"), "{status}");
+        let parsed = json::parse(body.trim()).unwrap();
+        assert_eq!(
+            parsed.get("name").unwrap().as_str(),
+            Some("nn.fit.loss"),
+            "{body}"
+        );
+        // Byte-stable: same state, same query, same bytes.
+        let (_, _, again) = route("GET", "/api/series?name=nn.fit.loss");
+        assert_eq!(body, again);
+    }
+
+    #[test]
+    fn dash_route_serves_html() {
+        let (status, content_type, body) = route("GET", "/dash");
+        assert!(status.starts_with("200"));
+        assert!(content_type.starts_with("text/html"));
+        assert!(body.starts_with("<!doctype html>"), "{body}");
+    }
+
+    #[test]
+    fn route_counters_use_static_names() {
+        assert_eq!(route_counter("/metrics"), "obs.http.requests.metrics");
+        assert_eq!(
+            route_counter("/api/series?name=x"),
+            "obs.http.requests.api_series"
+        );
+        assert_eq!(route_counter("/dash?x"), "obs.http.requests.dash");
+        assert_eq!(route_counter("/%2e%2e/etc"), "obs.http.requests.other");
     }
 
     #[test]

@@ -41,13 +41,11 @@ fn metrics_route_serves_valid_prometheus_text() {
         );
         assert!(body.contains("cap_obs_uptime_seconds"), "{body}");
         // Scrapes are byte-stable modulo the samples the scrape itself
-        // moves (uptime, the server's own request counter).
+        // moves (uptime, the server's own request counters and
+        // handling-time histogram).
         let strip = |b: &str| {
             b.lines()
-                .filter(|l| {
-                    !l.contains("cap_obs_uptime_seconds ")
-                        && !l.contains("cap_obs_http_requests_total ")
-                })
+                .filter(|l| !l.contains("cap_obs_uptime_seconds ") && !l.contains("cap_obs_http"))
                 .collect::<Vec<_>>()
                 .join("\n")
         };

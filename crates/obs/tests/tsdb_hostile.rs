@@ -1,0 +1,139 @@
+//! Hostile-input properties of the series store: arbitrary, truncated,
+//! or bit-flipped `series.capts` bytes must never panic, and every
+//! recoverable prefix must decode to exactly the samples that were
+//! written — never to silently corrupted ones.
+
+use cap_obs::tsdb::{scan_bytes, SeriesWriter};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const HEADER_LEN: usize = 8;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cap_tsdb_hostile_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A well-formed series file: four samples over a changing point set,
+/// so the bytes cover full frames, delta frames, and a name-set change.
+fn valid_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let dir = scratch_dir("seed");
+        let path = dir.join("series.capts");
+        let mut w = SeriesWriter::open(&path).expect("open writer");
+        let p = |pairs: &[(&str, f64)]| -> Vec<(String, f64)> {
+            pairs.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+        };
+        w.append(0.0, p(&[("a", 1.0), ("b", 2.0)]), false)
+            .expect("append");
+        w.append(0.5, p(&[("a", 1.5), ("b", 2.0)]), false)
+            .expect("append");
+        w.append(1.0, p(&[("a", 1.5), ("b", -4.0), ("c", 0.25)]), false)
+            .expect("append");
+        w.append(1.5, p(&[("a", 9.0), ("b", -4.0), ("c", 0.5)]), true)
+            .expect("append");
+        drop(w);
+        let bytes = std::fs::read(&path).expect("read series file");
+        let _ = std::fs::remove_dir_all(&dir);
+        bytes
+    })
+}
+
+fn assert_sample_prefix(outcome: &cap_obs::tsdb::ScanOutcome) {
+    let full = scan_bytes(valid_bytes()).expect("seed bytes scan").samples;
+    assert!(outcome.samples.len() <= full.len());
+    for (got, want) in outcome.samples.iter().zip(full.iter()) {
+        assert_eq!(got.seq, want.seq);
+        assert_eq!(got.t.to_bits(), want.t.to_bits());
+        assert_eq!(got.points, want.points);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup: `scan_bytes` returns `Err` (bad header) or a
+    /// valid prefix — it never panics or loops.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let _ = scan_bytes(&bytes);
+    }
+
+    /// Byte soup behind a valid magic+version header exercises the frame
+    /// parser (lengths, CRCs, varints) rather than dying at the magic
+    /// check; whatever survives must be a clean prefix.
+    #[test]
+    fn framed_garbage_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let mut buf = Vec::with_capacity(bytes.len() + HEADER_LEN);
+        buf.extend_from_slice(b"CAPT");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&bytes);
+        let outcome = scan_bytes(&buf).expect("valid header always scans");
+        prop_assert!(outcome.valid_len >= HEADER_LEN as u64);
+    }
+
+    /// Every truncation of a valid file decodes to an exact prefix of
+    /// the original samples (torn-tail semantics); cutting into the
+    /// header is the only fatal case.
+    #[test]
+    fn truncations_yield_exact_prefix(cut in 0usize..1_000_000) {
+        let full = valid_bytes();
+        let cut = cut % full.len();
+        match scan_bytes(&full[..cut]) {
+            Ok(outcome) => {
+                prop_assert!(cut >= HEADER_LEN);
+                prop_assert!(outcome.valid_len as usize <= cut);
+                assert_sample_prefix(&outcome);
+            }
+            Err(_) => prop_assert!(cut < HEADER_LEN, "valid header rejected at cut {cut}"),
+        }
+    }
+
+    /// Any single bit flip is contained: the CRC (or header check)
+    /// stops decoding at the damaged frame, and everything before it is
+    /// returned intact. A flip may never alter a decoded value.
+    #[test]
+    fn single_bitflips_never_corrupt_decoded_samples(bit in 0usize..1_000_000) {
+        let mut bytes = valid_bytes().to_vec();
+        let bit = bit % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let n_full = scan_bytes(valid_bytes()).expect("seed bytes scan").samples.len();
+        match scan_bytes(&bytes) {
+            Ok(outcome) => {
+                prop_assert!(
+                    outcome.samples.len() < n_full,
+                    "flip of bit {bit} left all {n_full} samples standing"
+                );
+                assert_sample_prefix(&outcome);
+            }
+            Err(_) => prop_assert!(bit / 8 < HEADER_LEN, "body flip at bit {bit} broke the header"),
+        }
+    }
+
+    /// Writer recovery: reopening over a torn tail truncates it and the
+    /// next append continues `seq` contiguously from the valid prefix.
+    #[test]
+    fn reopen_over_torn_tail_appends_contiguously(cut in 0usize..1_000_000) {
+        let full = valid_bytes();
+        let cut = HEADER_LEN + cut % (full.len() - HEADER_LEN);
+        let dir = scratch_dir("reopen");
+        let path = dir.join("series.capts");
+        std::fs::write(&path, &full[..cut]).expect("write torn file");
+        let before = scan_bytes(&full[..cut]).expect("torn prefix scans").samples;
+        let mut w = SeriesWriter::open(&path).expect("reopen over torn tail");
+        prop_assert_eq!(w.next_seq(), before.len() as u64);
+        w.append(9.0, vec![("z".to_string(), 7.0)], true).expect("append after reopen");
+        let after = cap_obs::tsdb::read_samples(&path).expect("read back");
+        prop_assert_eq!(after.len(), before.len() + 1);
+        for (i, s) in after.iter().enumerate() {
+            prop_assert_eq!(s.seq, i as u64);
+        }
+        let last = after.last().expect("appended sample");
+        prop_assert_eq!(last.value("z"), Some(7.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

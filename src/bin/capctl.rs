@@ -6,8 +6,15 @@
 //! capctl flops <file> <C> <H> <W>     cost analysis at an input size
 //! capctl prune --run-dir <dir> [--resume] [--iters N] [--seed S]
 //!              [--out <file>] [--csv <file>]
+//!              [--fault-policy abort|skip:N|restore:N]
 //!                                     run (or resume) a durable pruning run on
 //!                                     the built-in synthetic benchmark
+//! capctl tail <run-dir>               summarise a run's recorded history:
+//!                                     series.capts (verifying seq contiguity),
+//!                                     alerts.jsonl, class_attribution.jsonl
+//! capctl dash <run-dir> --export <file.html>
+//!                                     render the run's history dashboard to a
+//!                                     self-contained HTML file
 //! ```
 //!
 //! All commands accept `[--trace <spec>] [--serve-metrics <addr>]`
@@ -44,7 +51,7 @@
 use cap_core::{analyze_network, ClassAwarePruner, PruneConfig, PruneError, PruneStrategy};
 use cap_data::{DataError, DatasetSpec, SyntheticDataset};
 use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Layer, Linear, Relu};
-use cap_nn::{checkpoint, fit, Network, NnError, RunDir, RunDirError, TrainConfig};
+use cap_nn::{checkpoint, fit, FaultPolicy, Network, NnError, RunDir, RunDirError, TrainConfig};
 use rand::SeedableRng;
 use std::error::Error;
 use std::fmt;
@@ -132,7 +139,10 @@ const USAGE: &str = "usage: capctl [--trace <spec>] [--serve-metrics <addr>] <co
      commands:\n\
        info <file>\n\
        flops <file> <C> <H> <W>\n\
-       prune --run-dir <dir> [--resume] [--iters N] [--seed S] [--out <file>] [--csv <file>]";
+       prune --run-dir <dir> [--resume] [--iters N] [--seed S] [--out <file>] [--csv <file>]\n\
+             [--fault-policy abort|skip:N|restore:N]\n\
+       tail <run-dir>\n\
+       dash <run-dir> --export <file.html>";
 
 fn usage_err(detail: impl Into<String>) -> CtlError {
     let detail = detail.into();
@@ -249,6 +259,7 @@ fn cmd_prune(args: &[String]) -> Result<(), CtlError> {
     let mut seed: u64 = 33;
     let mut out: Option<String> = None;
     let mut csv: Option<String> = None;
+    let mut fault_policy = FaultPolicy::Abort;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| {
@@ -271,6 +282,7 @@ fn cmd_prune(args: &[String]) -> Result<(), CtlError> {
             }
             "--out" => out = Some(value("a file")?),
             "--csv" => csv = Some(value("a file")?),
+            "--fault-policy" => fault_policy = parse_fault_policy(&value("a policy")?)?,
             other => return Err(usage_err(format!("unknown prune flag {other:?}"))),
         }
     }
@@ -289,6 +301,7 @@ fn cmd_prune(args: &[String]) -> Result<(), CtlError> {
         epochs: 2,
         batch_size: 20,
         lr: 0.02,
+        fault_policy,
         ..TrainConfig::default()
     };
     let pruner = ClassAwarePruner::new(PruneConfig {
@@ -381,6 +394,142 @@ fn cmd_prune(args: &[String]) -> Result<(), CtlError> {
     Ok(())
 }
 
+/// Parses `abort`, `skip:N` or `restore:N` into a [`FaultPolicy`].
+fn parse_fault_policy(spec: &str) -> Result<FaultPolicy, CtlError> {
+    if spec == "abort" {
+        return Ok(FaultPolicy::Abort);
+    }
+    let budget = |rest: &str| {
+        rest.parse::<u32>()
+            .map_err(|e| usage_err(format!("bad --fault-policy budget {rest:?}: {e}")))
+    };
+    if let Some(rest) = spec.strip_prefix("skip:") {
+        return Ok(FaultPolicy::SkipBatch {
+            budget: budget(rest)?,
+        });
+    }
+    if let Some(rest) = spec.strip_prefix("restore:") {
+        return Ok(FaultPolicy::RestoreAndHalveLr {
+            budget: budget(rest)?,
+        });
+    }
+    Err(usage_err(format!(
+        "bad --fault-policy {spec:?} (want abort | skip:N | restore:N)"
+    )))
+}
+
+/// Prints the last `n` lines of a JSONL sidecar, if it exists.
+fn tail_jsonl(dir: &std::path::Path, name: &str, n: usize) -> Result<usize, CtlError> {
+    let path = dir.join(name);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("{name}: none");
+            return Ok(0);
+        }
+        Err(source) => {
+            return Err(CtlError::Io {
+                context: format!("read {}", path.display()),
+                source,
+            })
+        }
+    };
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    println!("{name}: {} records", lines.len());
+    for line in lines.iter().rev().take(n).rev() {
+        println!("  {line}");
+    }
+    Ok(lines.len())
+}
+
+/// `capctl tail <run-dir>`: summarises the recorded history — sample
+/// count and seq contiguity of `series.capts`, the newest sample's
+/// points, and the tails of `alerts.jsonl` / `class_attribution.jsonl`.
+/// A seq gap (which a correct writer can never produce) is a run-dir
+/// error.
+fn cmd_tail(run_dir: &str) -> Result<(), CtlError> {
+    let dir = std::path::Path::new(run_dir);
+    let series = dir.join("series.capts");
+    let samples = cap_obs::tsdb::read_samples(&series).map_err(|e| CtlError::RunDir {
+        context: format!("read {}", series.display()),
+        source: RunDirError::Corrupt {
+            reason: e.to_string(),
+        },
+    })?;
+    match (samples.first(), samples.last()) {
+        (Some(first), Some(last)) => {
+            for w in samples.windows(2) {
+                if w[1].seq != w[0].seq + 1 {
+                    return Err(CtlError::RunDir {
+                        context: format!("series.capts seq gap: {} -> {}", w[0].seq, w[1].seq),
+                        source: RunDirError::Corrupt {
+                            reason: "non-contiguous sample sequence".to_string(),
+                        },
+                    });
+                }
+            }
+            println!(
+                "series.capts: {} samples, seq {}..{} contiguous",
+                samples.len(),
+                first.seq,
+                last.seq
+            );
+            println!("last sample (t={:.3}s):", last.t);
+            for (name, value) in &last.points {
+                println!("  {name} = {value}");
+            }
+        }
+        _ => println!("series.capts: 0 samples"),
+    }
+    tail_jsonl(dir, "alerts.jsonl", 5)?;
+    tail_jsonl(dir, "class_attribution.jsonl", 5)?;
+    Ok(())
+}
+
+/// `capctl dash <run-dir> --export <file.html>`: renders the recorded
+/// history to a self-contained HTML dashboard.
+fn cmd_dash(args: &[String]) -> Result<(), CtlError> {
+    let mut run_dir: Option<String> = None;
+    let mut export: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--export" => {
+                export = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage_err("--export requires a file"))?,
+                );
+            }
+            other if run_dir.is_none() && !other.starts_with('-') => {
+                run_dir = Some(other.to_string());
+            }
+            other => return Err(usage_err(format!("unknown dash argument {other:?}"))),
+        }
+    }
+    let run_dir = run_dir.ok_or_else(|| usage_err("dash requires a run dir"))?;
+    let export = export.ok_or_else(|| usage_err("dash requires --export <file.html>"))?;
+    let series = std::path::Path::new(&run_dir).join("series.capts");
+    let samples = cap_obs::tsdb::read_samples(&series).map_err(|e| CtlError::RunDir {
+        context: format!("read {}", series.display()),
+        source: RunDirError::Corrupt {
+            reason: e.to_string(),
+        },
+    })?;
+    let html = cap_obs::dash::render(&samples, &run_dir);
+    cap_obs::fsx::atomic_write(std::path::Path::new(&export), html.as_bytes()).map_err(
+        |source| CtlError::Io {
+            context: format!("write {export}"),
+            source,
+        },
+    )?;
+    println!(
+        "dashboard for {} samples written to {export}",
+        samples.len()
+    );
+    Ok(())
+}
+
 fn run() -> Result<(), CtlError> {
     let mut args: Vec<String> = std::env::args().collect();
     init_trace(&mut args)?;
@@ -425,14 +574,22 @@ fn run() -> Result<(), CtlError> {
             Ok(())
         }
         Some("prune") => cmd_prune(&args[2..]),
+        Some("tail") => {
+            let dir = args
+                .get(2)
+                .ok_or_else(|| usage_err("tail requires a run dir"))?;
+            cmd_tail(dir)
+        }
+        Some("dash") => cmd_dash(&args[2..]),
         _ => Err(usage_err("")),
     }
 }
 
 fn main() -> ExitCode {
     let result = run();
-    cap_obs::serve::stop_global();
-    cap_obs::flush();
+    if let Err(e) = cap_obs::finalize_process() {
+        eprintln!("capctl: telemetry finalize: {e}");
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
