@@ -28,7 +28,7 @@ use cap_models::{vgg16, ModelConfig};
 use cap_nn::layer::{BatchNorm2d, Conv2d, GlobalAvgPool, Linear, Relu};
 use cap_nn::{Network, TrainConfig};
 use cap_obs::json::{write_f64, write_str};
-use cap_tensor::{matmul, Tensor};
+use cap_tensor::{matmul, SimdMode, Tensor};
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::time::Duration;
@@ -120,6 +120,17 @@ fn measure<F: FnMut()>(mut f: F, budget: Duration, max_iters: usize) -> f64 {
         }
     }
     start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// One timed call, in ns. The kernel gates combine these as the
+/// *minimum* across interleaved rounds: background load only ever
+/// inflates a sample, so the smallest one is the closest to the true
+/// cost, while a mean of 1-2 samples can be 3x off and flake the
+/// gates on a shared host.
+fn time_once<F: FnOnce()>(f: F) -> f64 {
+    let t0 = cap_obs::clock::now();
+    f();
+    t0.elapsed().as_nanos() as f64
 }
 
 fn rng() -> rand::rngs::StdRng {
@@ -342,7 +353,139 @@ fn run_benches(opts: &Options, thread_points: &[usize]) -> Vec<Record> {
     records
 }
 
-fn write_json(opts: &Options, thread_points: &[usize], records: &[Record]) -> String {
+/// One per-kernel measurement from the SIMD A/B section.
+struct KernelRecord {
+    /// Pinned `CAP_SIMD` mode for this row (`none` for the naive
+    /// reference loop, which has no kernel selection).
+    mode: &'static str,
+    op: &'static str,
+    shape: String,
+    /// The selector's steady-state verdict for this shape under this
+    /// mode (captured after warmup, so autotuned shapes report their
+    /// cached decision).
+    selector: String,
+    ns_per_iter: f64,
+    gflops: f64,
+}
+
+/// A/B-times the GEMM kernel paths in one process via
+/// `set_simd_mode`: scalar-blocked vs AVX2 (when available) at the
+/// conv-typical 192³ and the cache-spilling 1024³, against the naive
+/// triple loop. Serial (`threads = 1`): this isolates the kernels.
+fn run_kernel_benches(opts: &Options) -> Vec<KernelRecord> {
+    cap_par::set_threads(1);
+    // The perf gates compare these numbers, so sampling must be robust
+    // to a noisy shared host. Two defences (see `measure_min` for why
+    // a mean of 1-2 samples flakes): every variant is timed once per
+    // *round*, interleaved, so a background-load window inflates all
+    // variants rather than whichever one happened to be running; and
+    // each variant keeps the min across rounds, which any quiet window
+    // anywhere in the schedule pins to the true cost.
+    let rounds = if opts.smoke { 4 } else { 10 };
+    let initial = cap_tensor::simd_mode();
+    let mut recs = Vec::new();
+    for &d in &[192usize, 1024] {
+        let a = Tensor::from_fn(&[d, d], |i| (i as f32 * 0.013).sin());
+        let b = Tensor::from_fn(&[d, d], |i| (i as f32 * 0.007).cos());
+        let shape = format!("{d}x{d}x{d}");
+        let flops = 2.0 * (d as f64).powi(3);
+        let mut modes = vec![SimdMode::Scalar];
+        if cap_tensor::avx2_available() {
+            modes.push(SimdMode::Avx2);
+        }
+        // Warmup: touches the operands and lets the autotuner settle so
+        // round 0 measures steady state like every other round.
+        black_box(matmul_naive_ref(black_box(&a), black_box(&b)));
+        for &mode in &modes {
+            cap_tensor::set_simd_mode(mode).expect("mode availability checked above");
+            black_box(matmul(black_box(&a), black_box(&b)).expect("matmul"));
+        }
+        let mut best_naive = f64::INFINITY;
+        let mut best = vec![f64::INFINITY; modes.len()];
+        for _ in 0..rounds {
+            best_naive = best_naive.min(time_once(|| {
+                black_box(matmul_naive_ref(black_box(&a), black_box(&b)));
+            }));
+            for (mode_idx, &mode) in modes.iter().enumerate() {
+                cap_tensor::set_simd_mode(mode).expect("mode availability checked above");
+                best[mode_idx] = best[mode_idx].min(time_once(|| {
+                    black_box(matmul(black_box(&a), black_box(&b)).expect("matmul"));
+                }));
+            }
+        }
+        recs.push(KernelRecord {
+            mode: "none",
+            op: "matmul_naive_ref",
+            shape: shape.clone(),
+            selector: "naive(i-p-j triple loop)".to_string(),
+            ns_per_iter: best_naive,
+            gflops: flops / best_naive,
+        });
+        for (mode_idx, &mode) in modes.iter().enumerate() {
+            cap_tensor::set_simd_mode(mode).expect("mode availability checked above");
+            let ns = best[mode_idx];
+            recs.push(KernelRecord {
+                mode: mode.name(),
+                op: "matmul",
+                shape: shape.clone(),
+                selector: cap_tensor::gemm_plan_summary(d, d, d),
+                ns_per_iter: ns,
+                gflops: flops / ns,
+            });
+        }
+    }
+    cap_tensor::set_simd_mode(initial).expect("restoring the initial mode");
+    recs
+}
+
+fn kernel_ns(recs: &[KernelRecord], mode: &str, op: &str, shape: &str) -> Option<f64> {
+    recs.iter()
+        .find(|r| r.mode == mode && r.op == op && r.shape == shape)
+        .map(|r| r.ns_per_iter)
+}
+
+/// Perf regression gates on the kernel section. Returns every failed
+/// bound (empty = pass).
+fn kernel_regressions(recs: &[KernelRecord]) -> Vec<String> {
+    let mut failures = Vec::new();
+    // Gate 1: AVX2 must beat the scalar blocked kernel by >= 2.5x at
+    // 1024^3 whenever both were measured.
+    if let (Some(scalar), Some(avx2)) = (
+        kernel_ns(recs, "scalar", "matmul", "1024x1024x1024"),
+        kernel_ns(recs, "avx2", "matmul", "1024x1024x1024"),
+    ) {
+        let speedup = scalar / avx2;
+        if speedup < 2.5 {
+            failures.push(format!(
+                "avx2 matmul at 1024^3 is only {speedup:.2}x scalar-blocked (need >= 2.5x)"
+            ));
+        }
+    }
+    // Gate 2: no measured shape may fall behind the naive loop. The
+    // scalar direct path *is* the naive loop plus dispatch, so it gets
+    // a noise margin; AVX2 must win outright.
+    for r in recs.iter().filter(|r| r.op == "matmul") {
+        let Some(naive) = kernel_ns(recs, "none", "matmul_naive_ref", &r.shape) else {
+            continue;
+        };
+        let speedup = naive / r.ns_per_iter;
+        let floor = if r.mode == "avx2" { 1.0 } else { 0.85 };
+        if speedup < floor {
+            failures.push(format!(
+                "{} matmul at {} is {speedup:.2}x naive (floor {floor})",
+                r.mode, r.shape
+            ));
+        }
+    }
+    failures
+}
+
+fn write_json(
+    opts: &Options,
+    thread_points: &[usize],
+    records: &[Record],
+    kernels: &[KernelRecord],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n  \"machine\": {\"arch\": ");
     write_str(&mut out, std::env::consts::ARCH);
@@ -385,7 +528,33 @@ fn write_json(opts: &Options, thread_points: &[usize], records: &[Record]) -> St
         }
         out.push('\n');
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n  \"kernels\": {\n    \"simd_available\": ");
+    out.push_str(if cap_tensor::avx2_available() {
+        "\"avx2\""
+    } else {
+        "null"
+    });
+    out.push_str(",\n    \"results\": [\n");
+    for (i, r) in kernels.iter().enumerate() {
+        out.push_str("      {\"mode\": ");
+        write_str(&mut out, r.mode);
+        out.push_str(", \"op\": ");
+        write_str(&mut out, r.op);
+        out.push_str(", \"shape\": ");
+        write_str(&mut out, &r.shape);
+        out.push_str(", \"selector\": ");
+        write_str(&mut out, &r.selector);
+        out.push_str(", \"ns_per_iter\": ");
+        write_f64(&mut out, r.ns_per_iter);
+        out.push_str(", \"gflops\": ");
+        write_f64(&mut out, r.gflops);
+        out.push('}');
+        if i + 1 < kernels.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("    ]\n  }\n}\n");
     out
 }
 
@@ -634,7 +803,8 @@ fn main() {
         vec![1, opts.threads]
     };
     let records = run_benches(&opts, &thread_points);
-    let json = write_json(&opts, &thread_points, &records);
+    let kernels = run_kernel_benches(&opts);
+    let json = write_json(&opts, &thread_points, &records, &kernels);
     cap_obs::fsx::atomic_write(std::path::Path::new(&opts.out), json.as_bytes()).unwrap_or_else(
         |e| {
             eprintln!("failed to write {}: {e}", opts.out);
@@ -647,7 +817,20 @@ fn main() {
             r.op, r.shape, r.threads, r.ns_per_iter
         );
     }
+    for r in &kernels {
+        println!(
+            "kernel {:<7} {:<18} {:<16} {:>12.0} ns/iter {:>7.2} GFLOP/s  {}",
+            r.mode, r.op, r.shape, r.ns_per_iter, r.gflops, r.selector
+        );
+    }
     println!("wrote {}", opts.out);
+    let failures = kernel_regressions(&kernels);
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("kernel regression: {f}");
+        }
+        std::process::exit(1);
+    }
 
     let obs = run_obs_benches(&opts);
     let obs_json = write_obs_json(&opts, &obs);

@@ -14,3 +14,19 @@ pub fn attr_only() {
     #[allow(unsafe_code)]
     fn _inner() {}
 }
+
+// target_feature intrinsics blocks: attributes may sit above the
+// SAFETY comment; the comment must still touch the unsafe line.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: callers must prove AVX2+FMA support before calling; `p`
+// must be valid for the vector-width reads performed inside.
+unsafe fn intrinsics_block(p: *const f32) -> f32 {
+    unsafe { *p } // SAFETY: covered by the function contract above
+}
+
+pub fn gated_call_site(p: *const f32) -> f32 {
+    // SAFETY: runtime feature detection gates this call site and the
+    // pointer was derived from a live slice.
+    unsafe { intrinsics_block(p) }
+}

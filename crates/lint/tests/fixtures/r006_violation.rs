@@ -12,3 +12,13 @@ mod tests {
         let _ = unsafe { *(&x as *const u8) }; //~ R006
     }
 }
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn undocumented_intrinsics(p: *const f32) -> f32 { //~ R006
+    *p
+}
+
+pub fn undocumented_call_site(p: *const f32) -> f32 {
+    unsafe { undocumented_intrinsics(p) } //~ R006
+}

@@ -2,6 +2,57 @@ use crate::layer::conv::validate_keep;
 use crate::NnError;
 use cap_tensor::Tensor;
 
+/// Fixed-order pairwise tree reduction over per-sample `[f64; 2]`
+/// partials, per channel. Adjacent pairs are combined until one value
+/// remains, so the summation grouping depends only on the sample
+/// count — never on the thread count — and batch statistics stay
+/// bit-identical for any `CAP_THREADS`.
+fn tree_reduce_pairs(mut levels: Vec<Vec<[f64; 2]>>) -> Vec<[f64; 2]> {
+    while levels.len() > 1 {
+        let mut next = Vec::with_capacity(levels.len().div_ceil(2));
+        let mut iter = levels.into_iter();
+        while let Some(mut left) = iter.next() {
+            if let Some(right) = iter.next() {
+                for (l, r) in left.iter_mut().zip(right.iter()) {
+                    l[0] += r[0];
+                    l[1] += r[1];
+                }
+            }
+            next.push(left);
+        }
+        levels = next;
+    }
+    levels.into_iter().next().unwrap_or_default()
+}
+
+/// Per-sample `[a, b]` partials for every channel, computed in
+/// parallel (one task per sample), then tree-reduced in fixed order.
+/// `f` maps one element index to its `[a, b]` contribution; elements
+/// within a sample accumulate in ascending order.
+fn channel_partials(
+    n: usize,
+    c: usize,
+    plane: usize,
+    f: impl Fn(usize) -> [f64; 2] + Sync,
+) -> Vec<[f64; 2]> {
+    if n == 0 {
+        return vec![[0.0f64; 2]; c];
+    }
+    let per_sample: Vec<Vec<[f64; 2]>> = cap_par::parallel_map(n, |s| {
+        let mut acc = vec![[0.0f64; 2]; c];
+        for (ch, slot) in acc.iter_mut().enumerate() {
+            let base = (s * c + ch) * plane;
+            for i in base..base + plane {
+                let [a, b] = f(i);
+                slot[0] += a;
+                slot[1] += b;
+            }
+        }
+        acc
+    });
+    tree_reduce_pairs(per_sample)
+}
+
 /// Batch normalisation over the channel dimension of an NCHW tensor.
 ///
 /// In training mode the layer normalises with batch statistics and updates
@@ -148,19 +199,20 @@ impl BatchNorm2d {
         let mut out = Tensor::zeros(x.shape());
         let mut xhat = Tensor::zeros(x.shape());
         let mut inv_stds = vec![0.0f64; c];
-        #[allow(clippy::needless_range_loop)] // ch also indexes x/out strides
+        // Per-channel batch statistics: per-sample partials in
+        // parallel, fixed-order tree reduction across samples.
+        let stats: Vec<[f64; 2]> = if training {
+            channel_partials(n, c, plane, |i| {
+                let v = f64::from(x.data()[i]);
+                [v, v * v]
+            })
+        } else {
+            Vec::new()
+        };
+        let mut means = vec![0.0f64; c];
         for ch in 0..c {
             let (mean, var) = if training {
-                let mut sum = 0.0f64;
-                let mut sq = 0.0f64;
-                for s in 0..n {
-                    let base = (s * c + ch) * plane;
-                    for &v in &x.data()[base..base + plane] {
-                        let v = f64::from(v);
-                        sum += v;
-                        sq += v * v;
-                    }
-                }
+                let [sum, sq] = stats[ch];
                 let mean = sum / count;
                 let var = (sq / count - mean * mean).max(0.0);
                 self.running_mean[ch] =
@@ -171,18 +223,45 @@ impl BatchNorm2d {
             } else {
                 (self.running_mean[ch], self.running_var[ch])
             };
-            let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ch] = inv_std;
-            let g = f64::from(self.gamma.data()[ch]);
-            let b = f64::from(self.beta.data()[ch]);
-            for s in 0..n {
-                let base = (s * c + ch) * plane;
-                for i in base..base + plane {
-                    let xh = (f64::from(x.data()[i]) - mean) * inv_std;
-                    xhat.data_mut()[i] = xh as f32;
-                    out.data_mut()[i] = (g * xh + b) as f32;
-                }
-            }
+            means[ch] = mean;
+            inv_stds[ch] = 1.0 / (var + self.eps).sqrt();
+        }
+        // Normalisation writes are pure per-element maps; one task per
+        // sample (each owns a contiguous `c · plane` slice of both
+        // outputs).
+        let gamma = self.gamma.data().to_vec();
+        let beta = self.beta.data().to_vec();
+        {
+            let x_data = x.data();
+            let means = &means;
+            let inv_stds = &inv_stds;
+            let gamma = &gamma;
+            let beta = &beta;
+            let sample = c * plane;
+            let tasks: Vec<cap_par::ScopedTask<'_>> = xhat
+                .data_mut()
+                .chunks_mut(sample)
+                .zip(out.data_mut().chunks_mut(sample))
+                .enumerate()
+                .map(|(s, (xh_chunk, out_chunk))| {
+                    let task: cap_par::ScopedTask<'_> = Box::new(move || {
+                        for ch in 0..c {
+                            let base = (s * c + ch) * plane;
+                            let local = ch * plane;
+                            let g = f64::from(gamma[ch]);
+                            let b = f64::from(beta[ch]);
+                            for off in 0..plane {
+                                let xh =
+                                    (f64::from(x_data[base + off]) - means[ch]) * inv_stds[ch];
+                                xh_chunk[local + off] = xh as f32;
+                                out_chunk[local + off] = (g * xh + b) as f32;
+                            }
+                        }
+                    });
+                    task
+                })
+                .collect();
+            cap_par::run_tasks(tasks);
         }
         self.cached_xhat = Some(xhat);
         self.cached_inv_std = inv_stds;
@@ -224,35 +303,40 @@ impl BatchNorm2d {
         let count = (n * h * w) as f64;
         let training = self.cached_training;
         let mut grad_in = Tensor::zeros(grad_out.shape());
+        // Per-channel (Σg, Σg·x̂): per-sample partials in parallel,
+        // fixed-order tree reduction across samples.
+        let sums: Vec<[f64; 2]> = channel_partials(n, c, plane, |i| {
+            let g = f64::from(grad_out.data()[i]);
+            [g, g * f64::from(xhat.data()[i])]
+        });
+        let mut ks = vec![0.0f64; c];
         for ch in 0..c {
-            let mut sum_g = 0.0f64;
-            let mut sum_gx = 0.0f64;
-            for s in 0..n {
-                let base = (s * c + ch) * plane;
-                for i in base..base + plane {
-                    let g = f64::from(grad_out.data()[i]);
-                    sum_g += g;
-                    sum_gx += g * f64::from(xhat.data()[i]);
-                }
-            }
+            let [sum_g, sum_gx] = sums[ch];
             self.grad_beta.data_mut()[ch] += sum_g as f32;
             self.grad_gamma.data_mut()[ch] += sum_gx as f32;
-            let gamma = f64::from(self.gamma.data()[ch]);
-            let inv_std = self.cached_inv_std[ch];
-            let k = gamma * inv_std;
-            for s in 0..n {
-                let base = (s * c + ch) * plane;
-                for i in base..base + plane {
-                    let g = f64::from(grad_out.data()[i]);
-                    let gi = if training {
-                        let xh = f64::from(xhat.data()[i]);
-                        k * (g - sum_g / count - xh * sum_gx / count)
-                    } else {
-                        k * g
-                    };
-                    grad_in.data_mut()[i] = gi as f32;
+            ks[ch] = f64::from(self.gamma.data()[ch]) * self.cached_inv_std[ch];
+        }
+        {
+            let go_data = grad_out.data();
+            let xh_data = xhat.data();
+            cap_par::parallel_chunks_mut(grad_in.data_mut(), c * plane, |s, gi_chunk| {
+                for ch in 0..c {
+                    let base = (s * c + ch) * plane;
+                    let local = ch * plane;
+                    let [sum_g, sum_gx] = sums[ch];
+                    let k = ks[ch];
+                    for off in 0..plane {
+                        let g = f64::from(go_data[base + off]);
+                        let gi = if training {
+                            let xh = f64::from(xh_data[base + off]);
+                            k * (g - sum_g / count - xh * sum_gx / count)
+                        } else {
+                            k * g
+                        };
+                        gi_chunk[local + off] = gi as f32;
+                    }
                 }
-            }
+            });
         }
         Ok(grad_in)
     }

@@ -152,3 +152,37 @@ fn retain_channels_bit_identical_across_thread_counts() {
     cap_par::set_threads(prior);
     assert_bits_eq(&weights[0], &weights[1], "pruned conv weight");
 }
+
+/// BatchNorm training statistics use per-sample partials combined by a
+/// fixed-order tree reduction, so forward output, running stats and
+/// backward gradients must be bit-identical for any thread count.
+#[test]
+fn batchnorm_forward_backward_bit_identical_across_thread_counts() {
+    let _guard = threads_lock();
+    let prior = cap_par::threads();
+    // Batch 9: odd sample count exercises the ragged tree level.
+    let x = cap_tensor::randn(&[9, 6, 7, 7], 0.0, 1.0, &mut rng(29));
+    let g = Tensor::from_fn(&[9, 6, 7, 7], |i| ((i as f32) * 0.011).cos());
+    let mut runs = Vec::new();
+    for t in [1usize, 4] {
+        cap_par::set_threads(t);
+        let mut bn = cap_nn::layer::BatchNorm2d::new(6).unwrap();
+        bn.gamma_mut()
+            .data_mut()
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = 0.5 + 0.25 * i as f32);
+        let y = bn.forward(&x, true).unwrap();
+        let gin = bn.backward(&g).unwrap();
+        runs.push((y, gin, bn.grad_gamma().clone(), bn.running_mean().to_vec()));
+    }
+    cap_par::set_threads(prior);
+    let (y1, gin1, gg1, rm1) = &runs[0];
+    let (y4, gin4, gg4, rm4) = &runs[1];
+    assert_bits_eq(y1, y4, "batchnorm forward");
+    assert_bits_eq(gin1, gin4, "batchnorm input grad");
+    assert_bits_eq(gg1, gg4, "batchnorm gamma grad");
+    for (a, b) in rm1.iter().zip(rm4.iter()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "running mean differs");
+    }
+}

@@ -1,0 +1,272 @@
+//! Persistent GEMM autotune cache.
+//!
+//! Large shapes that miss the cache are measured once (every candidate
+//! is bit-identical, so tuning never changes results — see
+//! `crate::select`); the winner is recorded under a
+//! `(shape-class, arch, mode)` key and written through
+//! [`cap_obs::fsx::atomic_write`] so repeated prune runs skip
+//! re-measurement. The file is loaded lazily on first lookup.
+//!
+//! Environment:
+//! - `CAP_AUTOTUNE=off` disables persistence (in-memory only);
+//! - `CAP_AUTOTUNE=<path>` uses that file;
+//! - unset defaults to `cap-autotune.json` in the working directory.
+//!
+//! The loader is deliberately paranoid: a hostile, truncated or
+//! garbage cache file is *ignored* (counted in telemetry), never a
+//! panic — the cache is an optimisation, not an input.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+use cap_obs::json::{self, Json};
+
+use crate::select::{Config, Micro};
+
+/// Cache file format version; bump on incompatible layout changes
+/// (old versions are discarded on load).
+const FORMAT_VERSION: u64 = 1;
+
+/// A tuned choice: the winning config and its measured time, kept so
+/// humans (and benches) can audit what the tuner saw.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Choice {
+    pub(crate) config: Config,
+    pub(crate) ns_per_iter: f64,
+}
+
+struct State {
+    entries: BTreeMap<String, Choice>,
+    /// `None` when persistence is off.
+    path: Option<PathBuf>,
+}
+
+fn state() -> &'static Mutex<State> {
+    static STATE: OnceLock<Mutex<State>> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let path = configured_path();
+        let mut entries = BTreeMap::new();
+        if let Some(p) = &path {
+            match std::fs::read_to_string(p) {
+                Ok(text) => {
+                    entries = parse_cache(&text);
+                    if cap_obs::enabled() {
+                        cap_obs::counter_add(
+                            "tensor.gemm.autotune.loaded_total",
+                            entries.len() as u64,
+                        );
+                    }
+                }
+                // Missing file is the normal first-run case; any read
+                // error just means we start empty.
+                Err(_) => {}
+            }
+        }
+        Mutex::new(State { entries, path })
+    })
+}
+
+fn lock() -> std::sync::MutexGuard<'static, State> {
+    match state().lock() {
+        Ok(g) => g,
+        // A panic while holding the lock can only leave a partially
+        // updated in-memory map, which is still well-formed.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn configured_path() -> Option<PathBuf> {
+    match std::env::var("CAP_AUTOTUNE") {
+        Ok(v) => {
+            let v = v.trim().to_string();
+            if v.is_empty() || v.eq_ignore_ascii_case("off") || v == "0" {
+                None
+            } else {
+                Some(PathBuf::from(v))
+            }
+        }
+        Err(_) => Some(PathBuf::from("cap-autotune.json")),
+    }
+}
+
+/// Whether tuned winners will be written to disk. The selector only
+/// spends time measuring candidates when the result can be kept.
+pub(crate) fn persistence_enabled() -> bool {
+    lock().path.is_some()
+}
+
+/// Looks up a previously tuned choice for `key` (see
+/// [`crate::select::cache_key`]).
+pub(crate) fn lookup(key: &str) -> Option<Choice> {
+    lock().entries.get(key).copied()
+}
+
+/// Records a tuned winner and persists the whole cache atomically.
+/// Persistence failures are counted, not raised: the in-memory entry
+/// still prevents re-tuning within this process.
+pub(crate) fn record(key: &str, config: Config, ns_per_iter: f64) {
+    let mut st = lock();
+    st.entries.insert(
+        key.to_string(),
+        Choice {
+            config,
+            ns_per_iter,
+        },
+    );
+    let Some(path) = st.path.clone() else {
+        return;
+    };
+    let body = render_cache(&st.entries);
+    if cap_obs::fsx::atomic_write(&path, body.as_bytes()).is_err() && cap_obs::enabled() {
+        cap_obs::counter_add("tensor.gemm.autotune.write_errors_total", 1);
+    }
+}
+
+fn render_cache(entries: &BTreeMap<String, Choice>) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"entries\": {");
+    let mut first = true;
+    for (key, choice) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        json::write_str(&mut out, key);
+        out.push_str(": {\"micro\": ");
+        json::write_str(&mut out, choice.config.micro.name());
+        out.push_str(&format!(
+            ", \"mc\": {}, \"nc\": {}, \"ns_per_iter\": ",
+            choice.config.mc, choice.config.nc
+        ));
+        json::write_f64(&mut out, choice.ns_per_iter);
+        out.push('}');
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Parses a cache file, dropping anything malformed. Returns an empty
+/// map (and bumps a counter) rather than failing: the cache must never
+/// be able to take the process down.
+fn parse_cache(text: &str) -> BTreeMap<String, Choice> {
+    let mut out = BTreeMap::new();
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(_) => {
+            if cap_obs::enabled() {
+                cap_obs::counter_add("tensor.gemm.autotune.load_errors_total", 1);
+            }
+            return out;
+        }
+    };
+    if doc.get("version").and_then(Json::as_u64) != Some(FORMAT_VERSION) {
+        if cap_obs::enabled() {
+            cap_obs::counter_add("tensor.gemm.autotune.load_errors_total", 1);
+        }
+        return out;
+    }
+    let Some(Json::Obj(entries)) = doc.get("entries") else {
+        if cap_obs::enabled() {
+            cap_obs::counter_add("tensor.gemm.autotune.load_errors_total", 1);
+        }
+        return out;
+    };
+    for (key, entry) in entries {
+        let Some(choice) = parse_entry(entry) else {
+            if cap_obs::enabled() {
+                cap_obs::counter_add("tensor.gemm.autotune.bad_entries_total", 1);
+            }
+            continue;
+        };
+        out.insert(key.clone(), choice);
+    }
+    out
+}
+
+/// Validates one cache entry. Blocking parameters are clamped to sane
+/// bounds so a tampered file can't make the kernels allocate absurd
+/// pack buffers or degenerate blocks.
+fn parse_entry(entry: &Json) -> Option<Choice> {
+    let micro = Micro::parse(entry.get("micro")?.as_str()?)?;
+    let mc = entry.get("mc")?.as_u64()? as usize;
+    let nc = entry.get("nc")?.as_u64()? as usize;
+    if !(16..=4096).contains(&mc) || !(64..=8192).contains(&nc) {
+        return None;
+    }
+    let ns_per_iter = entry
+        .get("ns_per_iter")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    if !ns_per_iter.is_finite() || ns_per_iter < 0.0 {
+        return None;
+    }
+    Some(Choice {
+        config: Config { micro, mc, nc },
+        ns_per_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            "m1024-n1024-k1024|x86_64|avx2".to_string(),
+            Choice {
+                config: Config {
+                    micro: Micro::Avx2_8x8,
+                    mc: 128,
+                    nc: 512,
+                },
+                ns_per_iter: 1.25e8,
+            },
+        );
+        let text = render_cache(&entries);
+        let back = parse_cache(&text);
+        assert_eq!(back.len(), 1);
+        let c = back.values().next().map(|c| c.config);
+        assert_eq!(
+            c,
+            Some(Config {
+                micro: Micro::Avx2_8x8,
+                mc: 128,
+                nc: 512
+            })
+        );
+    }
+
+    #[test]
+    fn hostile_inputs_yield_empty_cache_without_panic() {
+        for garbage in [
+            "",
+            "not json at all",
+            "{\"version\": 999, \"entries\": {}}",
+            "{\"version\": 1}",
+            "{\"version\": 1, \"entries\": [1,2,3]}",
+            "{\"version\": 1, \"entries\": {\"k\": 42}}",
+            "{\"version\": 1, \"entries\": {\"k\": {\"micro\": \"evil\", \"mc\": 64, \"nc\": 512}}}",
+            "\u{0}\u{1}\u{2}binary",
+            "{\"version\": 1, \"entries\": {\"k\": {\"micro\": \"avx2_8x8\", \"mc\": 99999999, \"nc\": 512}}}",
+            "{\"version\": 1, \"entries\": {\"k\": {\"micro\": \"avx2_8x8\", \"mc\": 128, \"nc\": 512, \"ns_per_iter\": -5}}}",
+        ] {
+            assert!(parse_cache(garbage).is_empty(), "accepted: {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_blocking_is_rejected_but_valid_neighbors_survive() {
+        let text = concat!(
+            "{\"version\": 1, \"entries\": {",
+            "\"bad\": {\"micro\": \"avx2_8x8\", \"mc\": 8, \"nc\": 512, \"ns_per_iter\": 1},",
+            "\"good\": {\"micro\": \"avx2_16x4\", \"mc\": 128, \"nc\": 256, \"ns_per_iter\": 2}",
+            "}}"
+        );
+        let back = parse_cache(text);
+        assert_eq!(back.len(), 1);
+        assert!(back.contains_key("good"));
+    }
+}

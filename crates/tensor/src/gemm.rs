@@ -1,37 +1,43 @@
 //! Cache-blocked GEMM shared by the three matmul variants.
 //!
-//! The kernel follows the classic BLIS/GotoBLAS structure: the `n`
-//! dimension is tiled by [`NC`], the `k` dimension by [`KC`] and the `m`
-//! dimension by [`MC`]; operand panels are packed into contiguous
-//! [`MR`]×`kc` / `kc`×[`NR`] strips and multiplied by a register-blocked
-//! [`MR`]×[`NR`] microkernel. Transposed operands are handled by the
-//! stride description in [`MatRef`], so no transpose is materialised.
+//! The entry point asks [`crate::select`] for a plan and runs one of
+//! three paths:
+//!
+//! - **direct** — small shapes (all dims ≤ 256) run an unpacked serial
+//!   kernel; operands already fit in cache, so packing was pure
+//!   overhead (a measured regression at 192³).
+//! - **packed serial / parallel** — the classic BLIS/GotoBLAS
+//!   structure: `n` tiled by `nc`, `k` by the fixed [`KC`], `m` by
+//!   `mc`; operand panels packed into `mr`×`kc` / `kc`×`nr` strips and
+//!   multiplied by a register-tile microkernel ([`crate::simd`] for
+//!   AVX2+FMA, a portable scalar 4×8 otherwise). The parallel path
+//!   double-buffers B panels: the next panel is packed by a pool task
+//!   while the current one is being computed.
+//! - **tune** — very large shapes on the AVX2 path measure a few
+//!   blocking candidates once and persist the winner
+//!   ([`crate::autotune`]).
 //!
 //! # Parallelism and determinism
 //!
-//! Output rows are distributed across the `cap-par` pool in blocks of
-//! [`MC`]. Every output element is owned by exactly one task, and its
-//! accumulation order — ascending `pc` blocks of the fixed size [`KC`],
-//! each summed in ascending `p` order inside the microkernel — depends
-//! only on the shape, never on the thread count. Results are therefore
-//! bitwise identical for any `CAP_THREADS` setting.
+//! Every output element is owned by exactly one task, and its
+//! accumulation order — ascending `pc` blocks of the fixed size
+//! [`KC`], each summed in ascending `p` order — depends only on the
+//! shape, never on the thread count or on blocking choices. For a
+//! fixed `CAP_SIMD` mode, results are bitwise identical for any
+//! `CAP_THREADS`, any `mc`/`nc`, and either AVX2 tile (both perform
+//! one FMA per element per step). Only switching between scalar
+//! (separate multiply and add) and AVX2 (fused) changes rounding.
 
 use std::cell::RefCell;
 
-/// Microkernel row count (register block in `m`).
-pub(crate) const MR: usize = 4;
-/// Microkernel column count (register block in `n`).
-pub(crate) const NR: usize = 8;
-/// `k`-dimension cache block. Fixed (never adapted to thread count or
-/// shape) because it determines the floating-point summation grouping.
-pub(crate) const KC: usize = 256;
-/// `m`-dimension cache block; also the row granularity of parallel tasks.
-pub(crate) const MC: usize = 64;
-/// `n`-dimension cache block.
-pub(crate) const NC: usize = 512;
+use crate::select::{self, Config, Decision, Micro};
+use crate::simd::{self, SimdMode, ACC_LEN};
+
+pub(crate) use crate::select::KC;
 
 /// Below this many flops (`2·m·n·k`) the dispatch overhead of the pool
-/// outweighs the work and the kernel stays on the calling thread.
+/// outweighs the work and the packed kernel stays on the calling
+/// thread.
 const PARALLEL_FLOP_THRESHOLD: usize = 1 << 17;
 
 /// A borrowed matrix of logical shape `rows × cols` with arbitrary
@@ -71,8 +77,10 @@ impl<'a> MatRef<'a> {
 }
 
 thread_local! {
-    /// Per-thread packing buffers (packed A strip, packed B panel) so
-    /// concurrent row-block tasks never share scratch memory.
+    /// Per-thread packing buffers (packed A strips, packed B panel) so
+    /// concurrent row-block tasks never share scratch memory. Borrows
+    /// are confined to code that never re-enters the pool, because a
+    /// draining caller may execute unrelated tasks inline.
     static PACK_BUFFERS: RefCell<(Vec<f32>, Vec<f32>)> =
         const { RefCell::new((Vec::new(), Vec::new())) };
 }
@@ -87,62 +95,285 @@ pub(crate) fn gemm(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, o
     if k == 0 {
         return; // out is already zero
     }
-    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
-    if flops < PARALLEL_FLOP_THRESHOLD || cap_par::effective_parallelism() == 1 {
-        gemm_rows(0, m, n, k, a, b, out);
-        return;
+    let mode = simd::simd_mode();
+    let plan = select::plan(m, n, k, b.col_stride == 1, mode);
+    select::observe(&plan);
+    match plan.decision {
+        Decision::Direct => direct(n, k, a, b, out, mode),
+        Decision::Packed(cfg) => packed(m, n, k, a, b, out, cfg),
+        Decision::Tune { candidates, key } => tune(m, n, k, a, b, out, &candidates, &key),
     }
-    // Row blocks of MC are the parallel grain; chunk boundaries depend
-    // only on (m, n), and each task owns its output rows exclusively.
-    cap_par::parallel_chunks_mut(out, MC * n, |block_idx, chunk| {
-        let row0 = block_idx * MC;
-        let rows = chunk.len() / n;
-        gemm_rows(row0, rows, n, k, a, b, chunk);
-    });
 }
 
-/// Serial blocked kernel for output rows `row0 .. row0 + rows`; `out` is
-/// the row-major `rows × n` slice for exactly those rows.
-fn gemm_rows(
-    row0: usize,
-    rows: usize,
+fn count_kernel(name: &'static str) {
+    if cap_obs::enabled() {
+        cap_obs::counter_add(name, 1);
+    }
+}
+
+/// Unpacked small-shape path: serial, operands read in place.
+fn direct(n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], mode: SimdMode) {
+    #[cfg(target_arch = "x86_64")]
+    if mode == SimdMode::Avx2 && b.col_stride == 1 {
+        count_kernel("tensor.gemm.kernel.direct_avx2_total");
+        simd::direct_rows_avx2(
+            n,
+            k,
+            a.data,
+            0,
+            a.row_stride,
+            a.col_stride,
+            b.data,
+            b.row_stride,
+            out,
+        );
+        return;
+    }
+    let _ = mode;
+    count_kernel("tensor.gemm.kernel.direct_scalar_total");
+    direct_scalar(n, k, a, b, out);
+}
+
+/// Scalar direct kernel, any operand layout: `i`-`p`-`j` loop order
+/// (row of B streamed per `p`), separate multiply and add, matching
+/// the scalar packed path's per-element ascending-`p` order for
+/// `k ≤ KC`.
+fn direct_scalar(n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32]) {
+    let m = out.len() / n;
+    if b.col_stride == 1 && a.col_stride == 1 {
+        // Fully contiguous operands: hoist both row slices so the
+        // inner loop carries no stride arithmetic (this path must not
+        // lose to the naive reference loop, which is identical).
+        for i in 0..m {
+            let orow = &mut out[i * n..][..n];
+            let arow = &a.data[i * a.row_stride..][..k];
+            for (p, &av) in arow.iter().enumerate() {
+                let brow = &b.data[p * b.row_stride..][..n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    } else if b.col_stride == 1 {
+        for i in 0..m {
+            let orow = &mut out[i * n..][..n];
+            for p in 0..k {
+                let av = a.at(i, p);
+                let brow = &b.data[p * b.row_stride..][..n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    } else {
+        for i in 0..m {
+            for p in 0..k {
+                let av = a.at(i, p);
+                for j in 0..n {
+                    out[i * n + j] += av * b.at(p, j);
+                }
+            }
+        }
+    }
+}
+
+/// Packed blocked path with the given configuration.
+fn packed(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], cfg: Config) {
+    count_kernel(match cfg.micro {
+        Micro::Scalar4x8 => "tensor.gemm.kernel.scalar_4x8_total",
+        Micro::Avx2_8x8 => "tensor.gemm.kernel.avx2_8x8_total",
+        Micro::Avx2_16x4 => "tensor.gemm.kernel.avx2_16x4_total",
+    });
+    let flops = 2usize.saturating_mul(m).saturating_mul(n).saturating_mul(k);
+    if flops < PARALLEL_FLOP_THRESHOLD || cap_par::effective_parallelism() == 1 {
+        packed_serial(m, n, k, a, b, out, cfg);
+    } else {
+        packed_parallel(m, n, k, a, b, out, cfg);
+    }
+}
+
+/// Serial blocked kernel (also the per-call body when the pool would
+/// not split). Packing scratch lives in the thread-local buffers; the
+/// borrow never spans a pool dispatch.
+fn packed_serial(
+    m: usize,
     n: usize,
     k: usize,
     a: MatRef<'_>,
     b: MatRef<'_>,
     out: &mut [f32],
+    cfg: Config,
 ) {
+    let (mr, nr) = (cfg.micro.mr(), cfg.micro.nr());
     PACK_BUFFERS.with(|bufs| {
         let mut bufs = bufs.borrow_mut();
         let (pa, pb) = &mut *bufs;
-        pa.resize(MC.div_ceil(MR) * MR * KC, 0.0);
-        pb.resize(NC.div_ceil(NR) * NR * KC, 0.0);
-        for jc in (0..n).step_by(NC) {
-            let nc = NC.min(n - jc);
+        pa.resize(cfg.mc.div_ceil(mr) * mr * KC, 0.0);
+        pb.resize(cfg.nc.div_ceil(nr) * nr * KC, 0.0);
+        for jc in (0..n).step_by(cfg.nc) {
+            let ncc = cfg.nc.min(n - jc);
             for pc in (0..k).step_by(KC) {
-                let kc = KC.min(k - pc);
-                pack_b(b, pc, kc, jc, nc, pb);
-                for ic in (0..rows).step_by(MC) {
-                    let mc = MC.min(rows - ic);
-                    pack_a(a, row0 + ic, mc, pc, kc, pa);
-                    macro_kernel(mc, nc, kc, pa, pb, &mut out[ic * n..], n, jc);
+                let kcc = KC.min(k - pc);
+                pack_b(b, pc, kcc, jc, ncc, nr, pb);
+                for ic in (0..m).step_by(cfg.mc) {
+                    let mcc = cfg.mc.min(m - ic);
+                    pack_a(a, ic, mcc, pc, kcc, mr, pa);
+                    macro_kernel(cfg.micro, mcc, ncc, kcc, pa, pb, &mut out[ic * n..], n, jc);
                 }
             }
         }
     });
 }
 
-/// Packs `A[row0 .. row0+mc, pc .. pc+kc]` into MR-row strips laid out
-/// `p`-major (`strip · kc · MR + p · MR + r`), zero-padding the ragged
-/// final strip so the microkernel never branches on row validity.
-fn pack_a(a: MatRef<'_>, row0: usize, mc: usize, pc: usize, kc: usize, pa: &mut [f32]) {
-    for (strip, ir) in (0..mc).step_by(MR).enumerate() {
-        let mr = MR.min(mc - ir);
-        let dst = &mut pa[strip * kc * MR..(strip + 1) * kc * MR];
+/// Parallel blocked kernel with double-buffered B packing: per
+/// `(jc, pc)` panel, one pool task packs the *next* panel while the
+/// row-block tasks compute against the current one. B is packed once
+/// per panel (the serial-per-task design packed it once per row
+/// block).
+fn packed_parallel(
+    _m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    cfg: Config,
+) {
+    let nr = cfg.micro.nr();
+    let panel_len = cfg.nc.div_ceil(nr) * nr * KC;
+    let mut panels: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for jc in (0..n).step_by(cfg.nc) {
+        let ncc = cfg.nc.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            panels.push((jc, ncc, pc, KC.min(k - pc)));
+        }
+    }
+    let mut cur = vec![0.0f32; panel_len];
+    let mut next = vec![0.0f32; panel_len];
+    if let Some(&(jc, ncc, pc, kcc)) = panels.first() {
+        pack_b(b, pc, kcc, jc, ncc, nr, &mut cur);
+    }
+    for idx in 0..panels.len() {
+        let (jc, ncc, pc, kcc) = panels[idx];
+        {
+            let cur_ref: &[f32] = &cur;
+            let mut tasks: Vec<cap_par::ScopedTask<'_>> = Vec::new();
+            // Pack-ahead first, so it overlaps the compute tasks.
+            if let Some(&(njc, nncc, npc, nkcc)) = panels.get(idx + 1) {
+                let next_slice: &mut [f32] = &mut next;
+                tasks.push(Box::new(move || {
+                    pack_b(b, npc, nkcc, njc, nncc, nr, next_slice);
+                }));
+            }
+            for (block_idx, chunk) in out.chunks_mut(cfg.mc * n).enumerate() {
+                tasks.push(Box::new(move || {
+                    let rows = chunk.len() / n;
+                    compute_row_block(
+                        a,
+                        block_idx * cfg.mc,
+                        rows,
+                        n,
+                        jc,
+                        ncc,
+                        pc,
+                        kcc,
+                        cur_ref,
+                        cfg,
+                        chunk,
+                    );
+                }));
+            }
+            cap_par::run_tasks(tasks);
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+}
+
+/// One parallel task: pack this task's A strips and run the macro
+/// kernel against the shared packed B panel. The thread-local borrow
+/// stays inside this body, which performs no pool dispatch.
+#[allow(clippy::too_many_arguments)]
+fn compute_row_block(
+    a: MatRef<'_>,
+    row0: usize,
+    rows: usize,
+    n: usize,
+    jc: usize,
+    ncc: usize,
+    pc: usize,
+    kcc: usize,
+    pb: &[f32],
+    cfg: Config,
+    out: &mut [f32],
+) {
+    let mr = cfg.micro.mr();
+    PACK_BUFFERS.with(|bufs| {
+        let mut bufs = bufs.borrow_mut();
+        let (pa, _) = &mut *bufs;
+        pa.resize(cfg.mc.div_ceil(mr) * mr * KC, 0.0);
+        pack_a(a, row0, rows, pc, kcc, mr, pa);
+        macro_kernel(cfg.micro, rows, ncc, kcc, pa, pb, out, n, jc);
+    });
+}
+
+/// Measures every candidate once, writes the first candidate's result
+/// to `out` and the rest to scratch, and records the fastest in the
+/// autotune cache. All candidates are AVX2+FMA configurations, so
+/// every run produces identical bits and tuning is invisible in the
+/// output.
+fn tune(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    candidates: &[Config],
+    key: &str,
+) {
+    let mut best: Option<(Config, f64)> = None;
+    let mut scratch: Vec<f32> = Vec::new();
+    for (i, cfg) in candidates.iter().enumerate() {
+        let start = cap_obs::clock::now();
+        if i == 0 {
+            packed(m, n, k, a, b, out, *cfg);
+        } else {
+            scratch.clear();
+            scratch.resize(m * n, 0.0);
+            packed(m, n, k, a, b, &mut scratch, *cfg);
+        }
+        let ns = cap_obs::clock::elapsed_secs(start) * 1e9;
+        if best.map(|(_, b_ns)| ns < b_ns).unwrap_or(true) {
+            best = Some((*cfg, ns));
+        }
+    }
+    let Some((winner, ns)) = best else {
+        return; // empty candidate list: nothing ran, out untouched
+    };
+    crate::autotune::record(key, winner, ns);
+    if cap_obs::enabled() {
+        cap_obs::emit(
+            cap_obs::Event::new("gemm.autotune")
+                .str("key", key)
+                .str("winner", winner.describe())
+                .f64("ns_per_iter", ns)
+                .u64("candidates", candidates.len() as u64),
+        );
+    }
+}
+
+/// Packs `A[row0 .. row0+mc, pc .. pc+kc]` into `mr`-row strips laid
+/// out `p`-major (`strip · kc · mr + p · mr + r`), zero-padding the
+/// ragged final strip so the microkernel never branches on row
+/// validity.
+fn pack_a(a: MatRef<'_>, row0: usize, mc: usize, pc: usize, kc: usize, mr: usize, pa: &mut [f32]) {
+    for (strip, ir) in (0..mc).step_by(mr).enumerate() {
+        let live = mr.min(mc - ir);
+        let dst = &mut pa[strip * kc * mr..(strip + 1) * kc * mr];
         for p in 0..kc {
-            let d = &mut dst[p * MR..p * MR + MR];
+            let d = &mut dst[p * mr..p * mr + mr];
             for (r, slot) in d.iter_mut().enumerate() {
-                *slot = if r < mr {
+                *slot = if r < live {
                     a.at(row0 + ir + r, pc + p)
                 } else {
                     0.0
@@ -152,31 +383,28 @@ fn pack_a(a: MatRef<'_>, row0: usize, mc: usize, pc: usize, kc: usize, pa: &mut 
     }
 }
 
-/// Packs `B[pc .. pc+kc, jc .. jc+nc]` into NR-column strips laid out
-/// `p`-major (`strip · kc · NR + p · NR + c`), zero-padding the ragged
-/// final strip.
-fn pack_b(b: MatRef<'_>, pc: usize, kc: usize, jc: usize, nc: usize, pb: &mut [f32]) {
-    for (strip, jr) in (0..nc).step_by(NR).enumerate() {
-        let nr = NR.min(nc - jr);
-        let dst = &mut pb[strip * kc * NR..(strip + 1) * kc * NR];
+/// Packs `B[pc .. pc+kc, jc .. jc+nc]` into `nr`-column strips laid
+/// out `p`-major (`strip · kc · nr + p · nr + c`), zero-padding the
+/// ragged final strip.
+fn pack_b(b: MatRef<'_>, pc: usize, kc: usize, jc: usize, nc: usize, nr: usize, pb: &mut [f32]) {
+    for (strip, jr) in (0..nc).step_by(nr).enumerate() {
+        let live = nr.min(nc - jr);
+        let dst = &mut pb[strip * kc * nr..(strip + 1) * kc * nr];
         for p in 0..kc {
-            let d = &mut dst[p * NR..p * NR + NR];
+            let d = &mut dst[p * nr..p * nr + nr];
             for (c, slot) in d.iter_mut().enumerate() {
-                *slot = if c < nr {
-                    b.at(pc + p, jc + jr + c)
-                } else {
-                    0.0
-                };
+                *slot = if c < live { b.at(pc + p, jc + jr + c) } else { 0.0 };
             }
         }
     }
 }
 
-/// Runs the microkernel over every MR×NR tile of an `mc × nc` block,
-/// accumulating into `out` (row-major with leading dimension `n`,
-/// columns offset by `jc`).
+/// Runs the selected microkernel over every `mr`×`nr` tile of an
+/// `mc × nc` block, accumulating into `out` (row-major with leading
+/// dimension `n`, columns offset by `jc`).
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel(
+    micro: Micro,
     mc: usize,
     nc: usize,
     kc: usize,
@@ -186,40 +414,55 @@ fn macro_kernel(
     n: usize,
     jc: usize,
 ) {
-    for (bstrip, jr) in (0..nc).step_by(NR).enumerate() {
-        let nr = NR.min(nc - jr);
-        let pbs = &pb[bstrip * kc * NR..(bstrip + 1) * kc * NR];
-        for (astrip, ir) in (0..mc).step_by(MR).enumerate() {
-            let mr = MR.min(mc - ir);
-            let pas = &pa[astrip * kc * MR..(astrip + 1) * kc * MR];
-            let acc = micro_kernel(kc, pas, pbs);
-            for (r, acc_row) in acc.iter().enumerate().take(mr) {
-                let orow = &mut out[(ir + r) * n + jc + jr..][..nr];
-                for (o, &v) in orow.iter_mut().zip(acc_row.iter()) {
-                    *o += v;
+    let (mr, nr) = (micro.mr(), micro.nr());
+    for (bstrip, jr) in (0..nc).step_by(nr).enumerate() {
+        let live_n = nr.min(nc - jr);
+        let pbs = &pb[bstrip * kc * nr..(bstrip + 1) * kc * nr];
+        for (astrip, ir) in (0..mc).step_by(mr).enumerate() {
+            let live_m = mr.min(mc - ir);
+            let pas = &pa[astrip * kc * mr..(astrip + 1) * kc * mr];
+            let mut acc = [0.0f32; ACC_LEN];
+            run_micro(micro, kc, pas, pbs, &mut acc);
+            for r in 0..live_m {
+                let orow = &mut out[(ir + r) * n + jc + jr..][..live_n];
+                for (c, o) in orow.iter_mut().enumerate() {
+                    *o += acc[r * nr + c];
                 }
             }
         }
     }
 }
 
-/// MR×NR register-blocked inner kernel: a rank-`kc` update accumulated
-/// in ascending `p` order into a fixed-size accumulator the compiler
-/// keeps in registers / vector lanes.
+/// Dispatches one register tile. The accumulator is a flat
+/// `mr`-major/`nr`-stride array shared by all kernels.
+fn run_micro(micro: Micro, kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; ACC_LEN]) {
+    match micro {
+        Micro::Scalar4x8 => micro_scalar_4x8(kc, pa, pb, acc),
+        #[cfg(target_arch = "x86_64")]
+        Micro::Avx2_8x8 => simd::micro_8x8_avx2(kc, pa, pb, acc),
+        #[cfg(target_arch = "x86_64")]
+        Micro::Avx2_16x4 => simd::micro_16x4_avx2(kc, pa, pb, acc),
+        // The selector never picks a SIMD kernel off-architecture.
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => micro_scalar_4x8(kc, pa, pb, acc),
+    }
+}
+
+/// Portable 4×8 register tile: a rank-`kc` update accumulated in
+/// ascending `p` order with separate multiply and add — the
+/// cross-architecture reference kernel.
 #[inline]
-fn micro_kernel(kc: usize, pa: &[f32], pb: &[f32]) -> [[f32; NR]; MR] {
-    let mut acc = [[0.0f32; NR]; MR];
+fn micro_scalar_4x8(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; ACC_LEN]) {
     for p in 0..kc {
-        let av = &pa[p * MR..p * MR + MR];
-        let bv = &pb[p * NR..p * NR + NR];
-        for r in 0..MR {
+        let av = &pa[p * 4..p * 4 + 4];
+        let bv = &pb[p * 8..p * 8 + 8];
+        for r in 0..4 {
             let a = av[r];
-            for c in 0..NR {
-                acc[r][c] += a * bv[c];
+            for c in 0..8 {
+                acc[r * 8 + c] += a * bv[c];
             }
         }
     }
-    acc
 }
 
 #[cfg(test)]
@@ -242,6 +485,20 @@ mod tests {
         (0..len).map(|i| ((i as f32) * seed).sin()).collect()
     }
 
+    fn run_packed(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], cfg: Config) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        packed(
+            m,
+            n,
+            k,
+            MatRef::row_major(a, k),
+            MatRef::row_major(b, n),
+            &mut out,
+            cfg,
+        );
+        out
+    }
+
     #[test]
     fn blocked_matches_reference_on_edge_shapes() {
         // Shapes straddling every blocking boundary: sub-tile, ragged
@@ -249,10 +506,11 @@ mod tests {
         for &(m, n, k) in &[
             (1, 1, 1),
             (3, 7, 5),
-            (MR, NR, 4),
-            (MR + 1, NR + 3, KC + 17),
-            (MC + 5, NR, 33),
+            (4, 8, 4),
+            (5, 11, KC + 17),
+            (69, 8, 33),
             (65, 130, 300),
+            (300, 280, 70),
         ] {
             let a = fill(m * k, 0.137);
             let b = fill(k * n, 0.291);
@@ -273,6 +531,122 @@ mod tests {
                     "({m},{n},{k}) element {i}: {got} vs {expect}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn every_packed_config_matches_reference() {
+        let (m, n, k) = (70, 90, 130);
+        let a = fill(m * k, 0.173);
+        let b = fill(k * n, 0.119);
+        let want = reference(m, n, k, &a, &b);
+        let mut configs = vec![Config {
+            micro: Micro::Scalar4x8,
+            mc: 64,
+            nc: 512,
+        }];
+        if crate::simd::avx2_available() {
+            configs.push(Config {
+                micro: Micro::Avx2_8x8,
+                mc: 128,
+                nc: 512,
+            });
+            configs.push(Config {
+                micro: Micro::Avx2_16x4,
+                mc: 128,
+                nc: 64,
+            });
+        }
+        for cfg in configs {
+            let out = run_packed(m, n, k, &a, &b, cfg);
+            for (i, (&got, &expect)) in out.iter().zip(want.iter()).enumerate() {
+                let tol = 1e-4 * (1.0 + expect.abs());
+                assert!(
+                    (got - expect).abs() < tol,
+                    "{} element {i}: {got} vs {expect}",
+                    cfg.describe()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn avx2_tiles_and_blockings_are_bit_identical() {
+        // The determinism contract: blocking parameters and the choice
+        // between the two FMA tiles never change output bits — only
+        // the ISA pin does. This is what lets the autotuner measure
+        // candidates invisibly.
+        if !crate::simd::avx2_available() {
+            return;
+        }
+        let (m, n, k) = (97, 123, KC + 40);
+        let a = fill(m * k, 0.211);
+        let b = fill(k * n, 0.307);
+        let base = run_packed(
+            m,
+            n,
+            k,
+            &a,
+            &b,
+            Config {
+                micro: Micro::Avx2_8x8,
+                mc: 128,
+                nc: 512,
+            },
+        );
+        for cfg in [
+            Config {
+                micro: Micro::Avx2_8x8,
+                mc: 32,
+                nc: 64,
+            },
+            Config {
+                micro: Micro::Avx2_16x4,
+                mc: 128,
+                nc: 512,
+            },
+            Config {
+                micro: Micro::Avx2_16x4,
+                mc: 48,
+                nc: 96,
+            },
+        ] {
+            let got = run_packed(m, n, k, &a, &b, cfg);
+            assert!(
+                got.iter().zip(base.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "bits differ for {}",
+                cfg.describe()
+            );
+        }
+    }
+
+    #[test]
+    fn direct_path_matches_packed_on_strided_operands() {
+        // a transposed A view through both paths.
+        let (m, n, k) = (33, 40, 21);
+        let a_t = fill(k * m, 0.31); // stores k×m
+        let b = fill(k * n, 0.27);
+        let want = {
+            let mut a = vec![0.0f32; m * k];
+            for i in 0..m {
+                for p in 0..k {
+                    a[i * k + p] = a_t[p * m + i];
+                }
+            }
+            reference(m, n, k, &a, &b)
+        };
+        let mut out = vec![0.0f32; m * n];
+        gemm(
+            m,
+            n,
+            k,
+            MatRef::transposed(&a_t, m),
+            MatRef::row_major(&b, n),
+            &mut out,
+        );
+        for (i, (&got, &expect)) in out.iter().zip(want.iter()).enumerate() {
+            let tol = 1e-4 * (1.0 + expect.abs());
+            assert!((got - expect).abs() < tol, "element {i}: {got} vs {expect}");
         }
     }
 

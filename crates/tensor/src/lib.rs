@@ -1,4 +1,4 @@
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rustdoc::broken_intra_doc_links)]
 
@@ -27,16 +27,21 @@
 //! # }
 //! ```
 
+mod autotune;
 mod conv;
 mod error;
 mod gemm;
 mod init;
 mod matmul;
 mod reduce;
+mod select;
+mod simd;
 mod tensor;
 pub mod toeplitz;
 
 pub use conv::{col2im, col2im_sample, conv_output_size, im2col, Conv2dGeometry};
+pub use select::gemm_plan_summary;
+pub use simd::{avx2_available, set_simd_mode, simd_mode, SimdMode};
 pub use error::TensorError;
 pub use init::{kaiming_normal, randn, uniform};
 pub use matmul::{

@@ -1,0 +1,435 @@
+//! SIMD microkernels and the process-wide instruction-set pin.
+//!
+//! This is the **only** module in `cap-tensor` that may contain `unsafe`
+//! code (the crate root carries `#![deny(unsafe_code)]`; this module
+//! opts out with `#![allow(unsafe_code)]` and every block carries a
+//! `// SAFETY:` justification checked by caplint rule R006). Everything
+//! here is a leaf: fixed-size register-tile kernels over packed panels,
+//! plus one direct (unpacked) row kernel for small shapes. All loads
+//! and stores are unaligned (`loadu`/`storeu`), so callers only have to
+//! guarantee slice bounds, which the safe wrappers assert.
+//!
+//! # Mode pin
+//!
+//! The instruction set is resolved **once per process** from the
+//! `CAP_SIMD` environment variable (`scalar`, `avx2`, or `auto`, the
+//! default) intersected with runtime CPU feature detection, so a run's
+//! kernel choice is deterministic and recorded. [`set_simd_mode`]
+//! exists for benches and tests that A/B both paths in one process.
+//!
+//! # Determinism
+//!
+//! Every kernel accumulates each output element in ascending `p`
+//! (depth) order. All AVX2 kernels use one fused multiply-add per
+//! element per step, so *every* AVX2 kernel produces bit-identical
+//! results for the same operands — selecting between 8×8 and 16×4
+//! tiles (or changing cache blocking) never changes bits. The scalar
+//! kernels use separate multiply and add, which rounds differently
+//! from FMA; that is why the ISA pin, not the selector, is the unit of
+//! numerical reproducibility (see DESIGN.md §13).
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Maximum microkernel rows across all kernels (16×4 tile).
+pub(crate) const MR_MAX: usize = 16;
+/// Maximum microkernel columns across all kernels (8×8 tile).
+pub(crate) const NR_MAX: usize = 8;
+/// Accumulator scratch large enough for any tile (`MR_MAX × NR_MAX`).
+pub(crate) const ACC_LEN: usize = MR_MAX * NR_MAX;
+
+/// The resolved instruction-set choice for every GEMM in this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdMode {
+    /// Portable scalar kernels: the cross-architecture reference path.
+    Scalar,
+    /// AVX2 + FMA kernels (x86-64 only, runtime-detected).
+    Avx2,
+}
+
+impl SimdMode {
+    /// Stable lowercase name (`scalar` / `avx2`) used in telemetry,
+    /// autotune-cache keys, and `BENCH_kernels.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdMode::Scalar => "scalar",
+            SimdMode::Avx2 => "avx2",
+        }
+    }
+}
+
+/// 0 = unresolved, 1 = scalar, 2 = avx2.
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether this CPU can run the AVX2+FMA kernels.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+fn resolve_from_env() -> SimdMode {
+    let requested = std::env::var("CAP_SIMD").unwrap_or_default();
+    match requested.trim().to_ascii_lowercase().as_str() {
+        "scalar" => SimdMode::Scalar,
+        "avx2" => {
+            if avx2_available() {
+                SimdMode::Avx2
+            } else {
+                // Explicit request on an incapable host: fall back
+                // loudly (counter + event) rather than abort — the
+                // scalar path is always correct.
+                if cap_obs::enabled() {
+                    cap_obs::counter_add("tensor.gemm.simd_fallback_total", 1);
+                    cap_obs::emit(
+                        cap_obs::Event::new("simd_fallback")
+                            .str("requested", "avx2")
+                            .str("used", "scalar"),
+                    );
+                }
+                SimdMode::Scalar
+            }
+        }
+        // "auto", unset, and anything unrecognised: best available.
+        _ => {
+            if avx2_available() {
+                SimdMode::Avx2
+            } else {
+                SimdMode::Scalar
+            }
+        }
+    }
+}
+
+/// The pinned instruction-set mode, resolving `CAP_SIMD` on first use.
+pub fn simd_mode() -> SimdMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => SimdMode::Scalar,
+        2 => SimdMode::Avx2,
+        _ => {
+            let mode = resolve_from_env();
+            MODE.store(
+                match mode {
+                    SimdMode::Scalar => 1,
+                    SimdMode::Avx2 => 2,
+                },
+                Ordering::Relaxed,
+            );
+            mode
+        }
+    }
+}
+
+/// Overrides the pinned mode at runtime (benches and tests that A/B
+/// both paths in one process; production runs should pin via
+/// `CAP_SIMD` instead so the choice is recorded at startup).
+///
+/// # Errors
+///
+/// Returns a description if the requested ISA is unavailable on this
+/// CPU; the pinned mode is left unchanged.
+pub fn set_simd_mode(mode: SimdMode) -> Result<(), String> {
+    if mode == SimdMode::Avx2 && !avx2_available() {
+        return Err("CAP_SIMD: avx2 requested but not available on this CPU".to_string());
+    }
+    MODE.store(
+        match mode {
+            SimdMode::Scalar => 1,
+            SimdMode::Avx2 => 2,
+        },
+        Ordering::Relaxed,
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 + FMA kernels (x86-64).
+// ---------------------------------------------------------------------------
+
+/// 8×8 register tile over packed panels: `acc[r*8 + c] += Σ_p
+/// pa[p*8 + r] · pb[p*8 + c]`, ascending `p`, one FMA per element per
+/// step. Panels are packed `p`-major with zero padding, exactly like
+/// the scalar kernel's.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn micro_8x8_avx2(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; ACC_LEN]) {
+    assert!(pa.len() >= kc * 8, "packed A strip too short");
+    assert!(pb.len() >= kc * 8, "packed B strip too short");
+    // SAFETY: AVX2+FMA availability is guaranteed by the mode pin
+    // (`simd_mode()` only returns `Avx2` after feature detection), and
+    // the slice bounds the kernel reads/writes are asserted above.
+    unsafe { micro_8x8_avx2_impl(kc, pa.as_ptr(), pb.as_ptr(), acc.as_mut_ptr()) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: callers must guarantee AVX2+FMA support, `pa`/`pb` valid for
+// `kc*8` reads, and `acc` valid for 64 writes.
+unsafe fn micro_8x8_avx2_impl(kc: usize, pa: *const f32, pb: *const f32, acc: *mut f32) {
+    use std::arch::x86_64::{
+        _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    };
+    // SAFETY: intrinsics below only touch pa[0..kc*8], pb[0..kc*8] and
+    // acc[0..64], all within the caller-guaranteed bounds; loadu/storeu
+    // have no alignment requirement.
+    unsafe {
+        let mut c0 = _mm256_setzero_ps();
+        let mut c1 = _mm256_setzero_ps();
+        let mut c2 = _mm256_setzero_ps();
+        let mut c3 = _mm256_setzero_ps();
+        let mut c4 = _mm256_setzero_ps();
+        let mut c5 = _mm256_setzero_ps();
+        let mut c6 = _mm256_setzero_ps();
+        let mut c7 = _mm256_setzero_ps();
+        for p in 0..kc {
+            let b = _mm256_loadu_ps(pb.add(p * 8));
+            let a = pa.add(p * 8);
+            c0 = _mm256_fmadd_ps(_mm256_set1_ps(*a), b, c0);
+            c1 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(1)), b, c1);
+            c2 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(2)), b, c2);
+            c3 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(3)), b, c3);
+            c4 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(4)), b, c4);
+            c5 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(5)), b, c5);
+            c6 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(6)), b, c6);
+            c7 = _mm256_fmadd_ps(_mm256_set1_ps(*a.add(7)), b, c7);
+        }
+        _mm256_storeu_ps(acc, c0);
+        _mm256_storeu_ps(acc.add(8), c1);
+        _mm256_storeu_ps(acc.add(16), c2);
+        _mm256_storeu_ps(acc.add(24), c3);
+        _mm256_storeu_ps(acc.add(32), c4);
+        _mm256_storeu_ps(acc.add(40), c5);
+        _mm256_storeu_ps(acc.add(48), c6);
+        _mm256_storeu_ps(acc.add(56), c7);
+    }
+}
+
+/// 16×4 register tile for tall-skinny problems (`n` too small to feed
+/// 8-wide rows): `acc[r*4 + c] += Σ_p pa[p*16 + r] · pb[p*4 + c]`,
+/// ascending `p`, one FMA per element per step.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn micro_16x4_avx2(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32; ACC_LEN]) {
+    assert!(pa.len() >= kc * 16, "packed A strip too short");
+    assert!(pb.len() >= kc * 4, "packed B strip too short");
+    // SAFETY: AVX2+FMA availability is guaranteed by the mode pin, and
+    // the slice bounds the kernel reads/writes are asserted above.
+    unsafe { micro_16x4_avx2_impl(kc, pa.as_ptr(), pb.as_ptr(), acc.as_mut_ptr()) }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: callers must guarantee AVX2+FMA support, `pa` valid for
+// `kc*16` reads, `pb` for `kc*4` reads, and `acc` for 64 writes.
+unsafe fn micro_16x4_avx2_impl(kc: usize, pa: *const f32, pb: *const f32, acc: *mut f32) {
+    use std::arch::x86_64::{_mm_fmadd_ps, _mm_loadu_ps, _mm_set1_ps, _mm_setzero_ps, _mm_storeu_ps};
+    // SAFETY: intrinsics below only touch pa[0..kc*16], pb[0..kc*4] and
+    // acc[0..64], all within the caller-guaranteed bounds.
+    unsafe {
+        let mut c = [_mm_setzero_ps(); 16];
+        for p in 0..kc {
+            let b = _mm_loadu_ps(pb.add(p * 4));
+            let a = pa.add(p * 16);
+            // Four unrolled groups of four keep register pressure
+            // predictable; each row is one FMA per step.
+            for g in 0..4 {
+                let r = g * 4;
+                c[r] = _mm_fmadd_ps(_mm_set1_ps(*a.add(r)), b, c[r]);
+                c[r + 1] = _mm_fmadd_ps(_mm_set1_ps(*a.add(r + 1)), b, c[r + 1]);
+                c[r + 2] = _mm_fmadd_ps(_mm_set1_ps(*a.add(r + 2)), b, c[r + 2]);
+                c[r + 3] = _mm_fmadd_ps(_mm_set1_ps(*a.add(r + 3)), b, c[r + 3]);
+            }
+        }
+        for (r, v) in c.iter().enumerate() {
+            _mm_storeu_ps(acc.add(r * 4), *v);
+        }
+    }
+}
+
+/// Direct (unpacked) AVX2 row kernel for small shapes: computes
+/// `out[i][j] += Σ_p a[i][p] · b[p][j]` for `rows` output rows, with
+/// `b` row-major contiguous (`col_stride == 1`, leading dimension
+/// `b_rs`). `a` may be strided (transposed views). Each element
+/// accumulates ascending `p` with one FMA per step; the tail columns
+/// (`n % 8`) use scalar FMA so the op sequence per element is uniform.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn direct_rows_avx2(
+    n: usize,
+    k: usize,
+    a: &[f32],
+    a_off: usize,
+    a_rs: usize,
+    a_cs: usize,
+    b: &[f32],
+    b_rs: usize,
+    out: &mut [f32],
+) {
+    let rows = out.len() / n.max(1);
+    if rows == 0 || n == 0 || k == 0 {
+        return;
+    }
+    // Bounds for every access the unsafe kernel performs.
+    assert!(a.len() > a_off + (rows - 1) * a_rs + (k - 1) * a_cs);
+    assert!(b.len() >= (k - 1) * b_rs + n);
+    assert!(out.len() >= rows * n);
+    // SAFETY: AVX2+FMA availability is guaranteed by the mode pin; the
+    // index bounds are asserted just above.
+    unsafe {
+        direct_rows_avx2_impl(
+            rows,
+            n,
+            k,
+            a.as_ptr().add(a_off),
+            a_rs,
+            a_cs,
+            b.as_ptr(),
+            b_rs,
+            out.as_mut_ptr(),
+        )
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+// SAFETY: callers must guarantee AVX2+FMA support and validity of
+// `a` for strided reads over `rows × k`, `b` for `(k-1)*b_rs + n`
+// reads, and `out` for `rows * n` read-writes.
+unsafe fn direct_rows_avx2_impl(
+    rows: usize,
+    n: usize,
+    k: usize,
+    a: *const f32,
+    a_rs: usize,
+    a_cs: usize,
+    b: *const f32,
+    b_rs: usize,
+    out: *mut f32,
+) {
+    use std::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+    // Column blocks of 32 (four YMM accumulators) stay resident in
+    // registers across the whole depth loop.
+    const JB: usize = 32;
+    // SAFETY: every pointer offset below stays inside the caller-
+    // guaranteed ranges: a[i*a_rs + p*a_cs], b[p*b_rs + j..+8|1],
+    // out[i*n + j..+8|1] with i < rows, p < k, j < n.
+    unsafe {
+        for i in 0..rows {
+            let arow = a.add(i * a_rs);
+            let orow = out.add(i * n);
+            let mut j = 0;
+            while j + JB <= n {
+                let mut c0 = _mm256_loadu_ps(orow.add(j));
+                let mut c1 = _mm256_loadu_ps(orow.add(j + 8));
+                let mut c2 = _mm256_loadu_ps(orow.add(j + 16));
+                let mut c3 = _mm256_loadu_ps(orow.add(j + 24));
+                for p in 0..k {
+                    let av = _mm256_set1_ps(*arow.add(p * a_cs));
+                    let brow = b.add(p * b_rs + j);
+                    c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow), c0);
+                    c1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow.add(8)), c1);
+                    c2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow.add(16)), c2);
+                    c3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(brow.add(24)), c3);
+                }
+                _mm256_storeu_ps(orow.add(j), c0);
+                _mm256_storeu_ps(orow.add(j + 8), c1);
+                _mm256_storeu_ps(orow.add(j + 16), c2);
+                _mm256_storeu_ps(orow.add(j + 24), c3);
+                j += JB;
+            }
+            while j + 8 <= n {
+                let mut c0 = _mm256_loadu_ps(orow.add(j));
+                for p in 0..k {
+                    let av = _mm256_set1_ps(*arow.add(p * a_cs));
+                    c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b.add(p * b_rs + j)), c0);
+                }
+                _mm256_storeu_ps(orow.add(j), c0);
+                j += 8;
+            }
+            while j < n {
+                let mut acc = *orow.add(j);
+                for p in 0..k {
+                    acc = (*arow.add(p * a_cs)).mul_add(*b.add(p * b_rs + j), acc);
+                }
+                *orow.add(j) = acc;
+                j += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON stub (aarch64): detection reports unavailable until the kernels
+// land; the scalar reference path covers the architecture meanwhile.
+// ---------------------------------------------------------------------------
+
+/// Whether NEON microkernels are implemented and available. Stub: the
+/// aarch64 kernels are a planned follow-up (ROADMAP); until then every
+/// aarch64 host runs the scalar reference path.
+#[cfg(target_arch = "aarch64")]
+pub fn neon_available() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_are_stable() {
+        assert_eq!(SimdMode::Scalar.name(), "scalar");
+        assert_eq!(SimdMode::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn set_mode_rejects_unavailable_isa() {
+        if !avx2_available() {
+            assert!(set_simd_mode(SimdMode::Avx2).is_err());
+        } else {
+            assert!(set_simd_mode(SimdMode::Avx2).is_ok());
+            assert_eq!(simd_mode(), SimdMode::Avx2);
+        }
+        assert!(set_simd_mode(SimdMode::Scalar).is_ok());
+        assert_eq!(simd_mode(), SimdMode::Scalar);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_tiles_match_scalar_reference_values() {
+        if !avx2_available() {
+            return;
+        }
+        let kc = 37;
+        // Integer-valued operands: products and partial sums are exact
+        // in f32, so FMA and mul+add round identically and the tiles
+        // must match the scalar computation bit for bit.
+        let pa16: Vec<f32> = (0..kc * 16).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let pb8: Vec<f32> = (0..kc * 8).map(|i| ((i % 5) as f32) - 2.0).collect();
+        let mut acc = [0.0f32; ACC_LEN];
+        micro_8x8_avx2(kc, &pa16, &pb8, &mut acc);
+        for r in 0..8 {
+            for c in 0..8 {
+                let want: f32 = (0..kc)
+                    .map(|p| pa16[p * 8 + r] * pb8[p * 8 + c])
+                    .sum::<f32>();
+                assert_eq!(acc[r * 8 + c].to_bits(), want.to_bits(), "8x8 r{r} c{c}");
+            }
+        }
+        let pb4: Vec<f32> = (0..kc * 4).map(|i| ((i % 3) as f32) - 1.0).collect();
+        let mut acc = [0.0f32; ACC_LEN];
+        micro_16x4_avx2(kc, &pa16, &pb4, &mut acc);
+        for r in 0..16 {
+            for c in 0..4 {
+                let want: f32 = (0..kc)
+                    .map(|p| pa16[p * 16 + r] * pb4[p * 4 + c])
+                    .sum::<f32>();
+                assert_eq!(acc[r * 4 + c].to_bits(), want.to_bits(), "16x4 r{r} c{c}");
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! A hostile autotune-cache file must be ignored — never a panic,
+//! never wrong results.
+//!
+//! `CAP_AUTOTUNE` is resolved once per process at the first cache
+//! lookup, so this binary holds exactly one test and sets the variable
+//! before any matmul runs.
+
+use cap_tensor::Tensor;
+
+#[test]
+fn garbage_autotune_cache_is_ignored() {
+    let path = std::env::temp_dir().join(format!("cap-autotune-hostile-{}.json", std::process::id()));
+    // A mix of invalid JSON framing and adversarial-but-parseable
+    // content (huge blocking values would blow up pack buffers if
+    // trusted).
+    std::fs::write(
+        &path,
+        b"{\"version\": 1, \"entries\": {\"m512-n512-k512|x86_64|avx2\": \
+          {\"micro\": \"avx2_8x8\", \"mc\": 888888888888, \"nc\": 512}, \"trunc",
+    )
+    .unwrap();
+    std::env::set_var("CAP_AUTOTUNE", &path);
+
+    // Big enough to leave the direct path, so the cache is consulted.
+    let m = 300;
+    let k = 64;
+    let n = 280;
+    let a = Tensor::from_fn(&[m, k], |i| ((i as u64 % 13) as f32) - 6.0);
+    let b = Tensor::from_fn(&[k, n], |i| ((i as u64 % 11) as f32) - 5.0);
+    let out = cap_tensor::matmul(&a, &b).unwrap();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += f64::from(a.at2(i, p)) * f64::from(b.at2(p, j));
+            }
+            assert_eq!(f64::from(out.at2(i, j)), acc, "({i},{j})");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,162 @@
+//! SIMD-vs-scalar kernel parity and determinism.
+//!
+//! The contract under test (DESIGN.md §13): for a fixed `CAP_SIMD`
+//! mode, matmul results are bitwise identical across thread counts and
+//! repeated runs; across modes, results agree elementwise to an
+//! accumulation-error bound, and are bit-identical whenever the
+//! arithmetic is exact (`k == 1`, or integer-valued operands small
+//! enough that every product and partial sum is representable).
+//!
+//! `set_simd_mode` is process-global, so every test that flips it
+//! holds `MODE_LOCK`.
+
+use std::sync::Mutex;
+
+use cap_tensor::{matmul, set_simd_mode, SimdMode, Tensor};
+use proptest::prelude::*;
+
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_mode<T>(mode: SimdMode, f: impl FnOnce() -> T) -> Option<T> {
+    let _guard = MODE_LOCK.lock().unwrap();
+    if set_simd_mode(mode).is_err() {
+        return None; // ISA not available on this host: vacuously pass
+    }
+    let out = f();
+    set_simd_mode(SimdMode::Scalar).unwrap();
+    out.into()
+}
+
+fn run_both(a: &Tensor, b: &Tensor) -> Option<(Tensor, Tensor)> {
+    let _guard = MODE_LOCK.lock().unwrap();
+    if set_simd_mode(SimdMode::Avx2).is_err() {
+        return None;
+    }
+    let vec_out = matmul(a, b).unwrap();
+    set_simd_mode(SimdMode::Scalar).unwrap();
+    let scalar_out = matmul(a, b).unwrap();
+    Some((scalar_out, vec_out))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Elementwise parity on arbitrary values: the FMA path may round
+    /// differently at every accumulation step, so the budget scales
+    /// with `k` and the magnitude of the products feeding an element.
+    #[test]
+    fn simd_matches_scalar_within_accumulation_error(
+        m in 1usize..48,
+        k in 1usize..96,
+        n in 1usize..48,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::from_fn(&[m, k], |i| {
+            ((((i as u64).wrapping_mul(seed + 3)) % 997) as f32 - 498.0) * 0.02
+        });
+        let b = Tensor::from_fn(&[k, n], |i| {
+            ((((i as u64).wrapping_mul(seed + 7)) % 991) as f32 - 495.0) * 0.02
+        });
+        let Some((scalar_out, vec_out)) = run_both(&a, &b) else { return Ok(()) };
+        for i in 0..m {
+            for j in 0..n {
+                let abs_sum: f64 = (0..k)
+                    .map(|p| f64::from(a.at2(i, p)) * f64::from(b.at2(p, j)))
+                    .map(f64::abs)
+                    .sum();
+                let tol = 4.0 * (k as f64 + 1.0) * f64::from(f32::EPSILON) * (abs_sum + 1.0);
+                let s = f64::from(scalar_out.at2(i, j));
+                let v = f64::from(vec_out.at2(i, j));
+                prop_assert!(
+                    (s - v).abs() <= tol,
+                    "({m},{k},{n}) at ({i},{j}): scalar {s} vs simd {v}, tol {tol}"
+                );
+            }
+        }
+    }
+
+    /// `k == 1` has no accumulation: `fma(a, b, 0)` and `0 + a*b` both
+    /// round the exact product once, so the paths must agree bitwise
+    /// for arbitrary values.
+    #[test]
+    fn rank_one_update_is_bit_exact_across_modes(
+        m in 1usize..64,
+        n in 1usize..64,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::from_fn(&[m, 1], |i| {
+            ((((i as u64).wrapping_mul(seed + 13)) % 4093) as f32 - 2046.0) * 0.013
+        });
+        let b = Tensor::from_fn(&[1, n], |i| {
+            ((((i as u64).wrapping_mul(seed + 17)) % 4091) as f32 - 2045.0) * 0.017
+        });
+        let Some((scalar_out, vec_out)) = run_both(&a, &b) else { return Ok(()) };
+        for (x, y) in scalar_out.data().iter().zip(vec_out.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Small-integer operands keep every product and partial sum
+    /// exactly representable, so FMA fusion can never round
+    /// differently: modes must agree bitwise (FMA-free shapes).
+    #[test]
+    fn integer_valued_matmul_is_bit_exact_across_modes(
+        m in 1usize..40,
+        k in 1usize..64,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::from_fn(&[m, k], |i| {
+            (((i as u64).wrapping_mul(seed + 19)) % 17) as f32 - 8.0
+        });
+        let b = Tensor::from_fn(&[k, n], |i| {
+            (((i as u64).wrapping_mul(seed + 23)) % 15) as f32 - 7.0
+        });
+        let Some((scalar_out, vec_out)) = run_both(&a, &b) else { return Ok(()) };
+        for (x, y) in scalar_out.data().iter().zip(vec_out.data()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+/// Same exactness argument, but on a shape big enough to leave the
+/// direct path (m > 256) and engage the packed SIMD kernels, their
+/// panel packing, and the parallel split.
+#[test]
+fn packed_simd_kernels_are_bit_exact_on_integer_values() {
+    let a = Tensor::from_fn(&[300, 280], |i| ((i as u64 % 13) as f32) - 6.0);
+    let b = Tensor::from_fn(&[280, 96], |i| ((i as u64 % 11) as f32) - 5.0);
+    let Some((scalar_out, vec_out)) = run_both(&a, &b) else {
+        return;
+    };
+    for (x, y) in scalar_out.data().iter().zip(vec_out.data()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+/// The SIMD path must be bit-identical across CAP_THREADS=1/4 and
+/// across repeated runs (the scalar equivalent lives in
+/// `matmul::tests::thread_count_does_not_change_bits`).
+#[test]
+fn simd_path_bits_are_stable_across_threads_and_runs() {
+    let a = Tensor::from_fn(&[300, 310], |i| (i as f32 * 0.0131).sin());
+    let b = Tensor::from_fn(&[310, 73], |i| (i as f32 * 0.0077).cos());
+    let runs = with_mode(SimdMode::Avx2, || {
+        cap_par::set_threads(1);
+        let serial = matmul(&a, &b).unwrap();
+        let serial_again = matmul(&a, &b).unwrap();
+        cap_par::set_threads(4);
+        let parallel = matmul(&a, &b).unwrap();
+        cap_par::set_threads(1);
+        (serial, serial_again, parallel)
+    });
+    let Some((serial, serial_again, parallel)) = runs else {
+        return;
+    };
+    for (x, y) in serial.data().iter().zip(serial_again.data()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "repeated runs differ");
+    }
+    for (x, y) in serial.data().iter().zip(parallel.data()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "thread count changed bits");
+    }
+}
