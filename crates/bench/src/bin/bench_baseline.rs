@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH] [--obs-out PATH]
+//!                [--history PATH | --no-history]
 //! ```
 //!
 //! `--smoke` shrinks every workload for CI; `--threads` picks the
@@ -18,9 +19,15 @@
 //!
 //! After the kernel benches, an observability section writes
 //! `BENCH_obs.json` (`--obs-out` overrides): span/counter overhead with
-//! telemetry disabled, enabled, and with the flight recorder on, plus
-//! `/metrics` scrape latency while a smoke training loop runs. Kernel
-//! timings always run first, before any telemetry is switched on.
+//! telemetry disabled, enabled, with the sampling profiler mirroring,
+//! and with the flight recorder on, plus `/metrics` scrape latency
+//! while a smoke training loop runs. Kernel timings always run first,
+//! before any telemetry is switched on.
+//!
+//! Every run's kernel rows are also *appended* to the perf-trend
+//! history at `results/bench_history.jsonl` (`--history` overrides,
+//! `--no-history` opts out) so `capctl bench trend` / `bench compare`
+//! can observe the trajectory across commits.
 
 use cap_core::{evaluate_scores, find_prunable_sites, ClassAwarePruner, PruneConfig, ScoreConfig};
 use cap_data::{DatasetSpec, SyntheticDataset};
@@ -30,8 +37,41 @@ use cap_nn::{Network, TrainConfig};
 use cap_obs::json::{write_f64, write_str};
 use cap_tensor::{matmul, SimdMode, Tensor};
 use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Heap allocations observed by [`CountingAlloc`] since process start.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Counting wrapper over the system allocator so the obs section can
+/// assert the telemetry-disabled span fast path allocates nothing.
+struct CountingAlloc;
+
+// SAFETY: every method forwards verbatim to `System`, which upholds
+// the `GlobalAlloc` contract; the counter is a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller guarantees per `GlobalAlloc::alloc` are passed to `System`.
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    // SAFETY: `ptr`/`layout` come from a matching `System` allocation.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    // SAFETY: caller guarantees per `GlobalAlloc::realloc` are passed to `System`.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 struct Options {
     smoke: bool,
@@ -39,6 +79,8 @@ struct Options {
     mm_dim: Option<usize>,
     out: String,
     obs_out: String,
+    /// Bench-history sink (`None` under `--no-history`).
+    history: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -48,6 +90,7 @@ fn parse_args() -> Options {
         mm_dim: None,
         out: "BENCH_kernels.json".to_string(),
         obs_out: "BENCH_obs.json".to_string(),
+        history: Some(cap_obs::trend::DEFAULT_HISTORY_PATH.to_string()),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,10 +129,17 @@ fn parse_args() -> Options {
                     std::process::exit(2);
                 });
             }
+            "--history" => {
+                opts.history = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--history expects a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--no-history" => opts.history = None,
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH] [--obs-out PATH]"
+                    "usage: bench_baseline [--smoke] [--threads N] [--mm-dim N] [--out PATH] [--obs-out PATH] [--history PATH | --no-history]"
                 );
                 std::process::exit(2);
             }
@@ -580,6 +630,21 @@ struct ObsSummary {
     sample_ns: f64,
     epoch_ns: f64,
     overhead_fraction: f64,
+    /// Heap allocations across 10k disabled-span iterations (min over
+    /// rounds, so a concurrent allocation elsewhere cannot flake it).
+    disabled_span_allocs: u64,
+    /// Spans recorded during the smoke epoch (from the registry's
+    /// `span.*.count` histogram deltas).
+    spans_per_epoch: f64,
+    /// The measured disabled-span cost net of the bench harness's own
+    /// dispatch floor, reused as a conservative per-span price in the
+    /// profiler-off overhead model.
+    disabled_span_ns: f64,
+    /// Profiler-off overhead bound: even charging every span of the
+    /// epoch the *full* disabled-path cost (a strict over-estimate of
+    /// the one relaxed load `prof::mirroring()` adds), this fraction
+    /// of the epoch is what the sampler costs when it is off.
+    prof_off_overhead_fraction: f64,
 }
 
 impl ObsSummary {
@@ -587,6 +652,12 @@ impl ObsSummary {
     /// smoke epoch at the default cadence (the acceptance bound).
     fn overhead_lt_1pct(&self) -> bool {
         self.overhead_fraction < 0.01
+    }
+
+    /// Whether the profiler-off span overhead stays under 0.5% of a
+    /// smoke epoch (the capprof acceptance bound).
+    fn off_overhead_lt_half_pct(&self) -> bool {
+        self.prof_off_overhead_fraction < 0.005
     }
 }
 
@@ -623,6 +694,20 @@ fn run_obs_benches(opts: &Options) -> ObsSummary {
         cap_obs::counter_add("bench.obs.counter", 1);
     });
 
+    // Zero-allocation check on the disabled span path: the fast path
+    // every hot loop pays must never touch the heap. Min over rounds
+    // so an unrelated allocation on another thread cannot flake it.
+    let mut disabled_span_allocs = u64::MAX;
+    for _ in 0..3 {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..10_000 {
+            let _s = cap_obs::span!("bench.obs.span");
+            black_box(&_s);
+        }
+        let delta = ALLOCS.load(Ordering::Relaxed) - before;
+        disabled_span_allocs = disabled_span_allocs.min(delta);
+    }
+
     cap_obs::enable();
     bench("span", "enabled", &mut || {
         let _s = cap_obs::span!("bench.obs.span");
@@ -631,6 +716,17 @@ fn run_obs_benches(opts: &Options) -> ObsSummary {
     bench("counter_add", "enabled", &mut || {
         cap_obs::counter_add("bench.obs.counter", 1);
     });
+
+    // Span path with the sampling profiler live: the mirror push/pop
+    // into the shared per-thread stack is the cost; the sampling rate
+    // is irrelevant to it.
+    if cap_obs::prof::start_global(97, None).unwrap_or(false) {
+        bench("span", "enabled+prof", &mut || {
+            let _s = cap_obs::span!("bench.obs.span");
+            black_box(&_s);
+        });
+        cap_obs::prof::stop_global();
+    }
 
     cap_obs::flight::enable();
     bench("span", "enabled+flight", &mut || {
@@ -667,7 +763,17 @@ fn run_obs_benches(opts: &Options) -> ObsSummary {
         .map_or(0.0, |r| r.ns_per_iter);
 
     // Recorder overhead model: cadence samples per second × cost per
-    // sample, relative to one smoke training epoch.
+    // sample, relative to one smoke training epoch. The same epoch's
+    // registry `span.*.count` deltas give spans-per-epoch for the
+    // profiler-off overhead bound.
+    let span_count_total = || -> f64 {
+        cap_obs::tsdb::snapshot_points()
+            .iter()
+            .filter(|(n, _)| n.starts_with("span.") && n.ends_with(".count"))
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let spans_before = span_count_total();
     let epoch_ns = {
         let (mut net, data, _) = scoring_setup(true);
         let cfg = TrainConfig {
@@ -680,8 +786,24 @@ fn run_obs_benches(opts: &Options) -> ObsSummary {
             .expect("epoch fit");
         t.elapsed().as_nanos() as f64
     };
+    let spans_per_epoch = (span_count_total() - spans_before).max(0.0);
     let samples_per_sec = 1000.0 / cap_obs::recorder::DEFAULT_INTERVAL_MS as f64;
     let overhead_fraction = samples_per_sec * sample_ns / 1e9;
+    // Net span cost: the raw bench figure includes the harness's own
+    // dispatch + loop floor (measured by the "empty" record, 30-60 ns
+    // on this host and noisy), which a real epoch never pays per span.
+    let raw_of = |op: &str, mode: &str| {
+        records
+            .iter()
+            .find(|r| r.op == op && r.mode == mode)
+            .map_or(0.0, |r| r.ns_per_iter)
+    };
+    let disabled_span_ns = (raw_of("span", "disabled") - raw_of("empty", "harness_floor")).max(0.0);
+    let prof_off_overhead_fraction = if epoch_ns > 0.0 {
+        spans_per_epoch * disabled_span_ns / epoch_ns
+    } else {
+        0.0
+    };
 
     // Scrape latency under load: serve on an ephemeral port while a
     // smoke-size training loop keeps the process busy, then time
@@ -743,6 +865,10 @@ fn run_obs_benches(opts: &Options) -> ObsSummary {
         sample_ns,
         epoch_ns,
         overhead_fraction,
+        disabled_span_allocs,
+        spans_per_epoch,
+        disabled_span_ns,
+        prof_off_overhead_fraction,
     }
 }
 
@@ -780,6 +906,20 @@ fn write_obs_json(opts: &Options, s: &ObsSummary) -> String {
     write_f64(&mut out, s.overhead_fraction);
     out.push_str(", \"overhead_lt_1pct\": ");
     out.push_str(if s.overhead_lt_1pct() {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str("},\n  \"profiler\": {\"disabled_span_allocs\": ");
+    out.push_str(&s.disabled_span_allocs.to_string());
+    out.push_str(", \"spans_per_epoch\": ");
+    write_f64(&mut out, s.spans_per_epoch);
+    out.push_str(", \"disabled_span_ns\": ");
+    write_f64(&mut out, s.disabled_span_ns);
+    out.push_str(", \"off_overhead_fraction\": ");
+    write_f64(&mut out, s.prof_off_overhead_fraction);
+    out.push_str(", \"off_overhead_lt_half_pct\": ");
+    out.push_str(if s.off_overhead_lt_half_pct() {
         "true"
     } else {
         "false"
@@ -824,6 +964,33 @@ fn main() {
         );
     }
     println!("wrote {}", opts.out);
+    // Record the run in the perf-trend history *before* the gates, so
+    // a regressing run is still observable in `capctl bench trend`.
+    if let Some(history) = &opts.history {
+        let commit = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty());
+        let simd = std::env::var("CAP_SIMD").unwrap_or_else(|_| "auto".to_string());
+        let mut run = cap_obs::trend::BenchRun::now(simd, opts.threads as u64, opts.smoke, commit);
+        run.kernels = kernels
+            .iter()
+            .map(|k| cap_obs::trend::KernelPoint {
+                mode: k.mode.to_string(),
+                op: k.op.to_string(),
+                shape: k.shape.clone(),
+                ns: k.ns_per_iter,
+                gflops: k.gflops,
+            })
+            .collect();
+        match cap_obs::trend::append_run(std::path::Path::new(history), &run) {
+            Ok(()) => println!("appended kernel rows to {history}"),
+            Err(e) => eprintln!("failed to append bench history {history}: {e}"),
+        }
+    }
     let failures = kernel_regressions(&kernels);
     if !failures.is_empty() {
         for f in &failures {
@@ -861,6 +1028,19 @@ fn main() {
         } else {
             ">= 1%"
         }
+    );
+    println!(
+        "obs profiler-off bound: {} spans/epoch x {:.1} ns net = {:.5}% of epoch ({}), \
+         disabled-span allocs {}",
+        obs.spans_per_epoch as u64,
+        obs.disabled_span_ns,
+        obs.prof_off_overhead_fraction * 100.0,
+        if obs.off_overhead_lt_half_pct() {
+            "< 0.5%"
+        } else {
+            ">= 0.5%"
+        },
+        obs.disabled_span_allocs
     );
     println!("wrote {}", opts.obs_out);
 }

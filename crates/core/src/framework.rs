@@ -609,6 +609,9 @@ struct RunHistory<'a> {
     /// Whether *this* run started the process-global recorder (another
     /// concurrent run may already own it; then we must not stop it).
     recording: bool,
+    /// Whether *this* run started the sampling profiler (same
+    /// first-start-wins rule as `recording`).
+    profiling: bool,
 }
 
 impl<'a> RunHistory<'a> {
@@ -624,6 +627,27 @@ impl<'a> RunHistory<'a> {
                 eprintln!("run history: recorder disabled: {e}");
                 false
             }
+        };
+        // Sampling profiler: when CAP_PROF_HZ asks for one, the run dir
+        // owns `profile.folded`. A profiler started earlier (e.g. by
+        // init_telemetry before the run dir existed) is retargeted here
+        // instead; it keeps running after the run, same as the server.
+        let profiling = match cap_obs::prof::hz_from_env() {
+            Some(hz) => {
+                let out = dir.root().join("profile.folded");
+                match cap_obs::prof::start_global(hz, Some(out.clone())) {
+                    Ok(true) => true,
+                    Ok(false) => {
+                        cap_obs::prof::set_output(out);
+                        false
+                    }
+                    Err(e) => {
+                        eprintln!("run history: profiler disabled: {e}");
+                        false
+                    }
+                }
+            }
+            None => false,
         };
         cap_obs::alerts::install(
             vec![
@@ -658,6 +682,7 @@ impl<'a> RunHistory<'a> {
             dir,
             eval_batch: cfg.eval_batch,
             recording,
+            profiling,
         }
     }
 
@@ -724,6 +749,14 @@ impl Drop for RunHistory<'_> {
     fn drop(&mut self) {
         if self.recording {
             cap_obs::recorder::stop_global();
+        }
+        if self.profiling {
+            // Final durable profile.folded for the run.
+            cap_obs::prof::stop_global();
+        } else {
+            // A longer-lived profiler keeps sampling, but the run dir
+            // should still hold a complete profile at run end.
+            cap_obs::prof::flush_profile();
         }
         cap_obs::alerts::clear();
     }

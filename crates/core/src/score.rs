@@ -220,6 +220,10 @@ pub fn evaluate_scores_with_attribution(
     data: &Dataset,
     cfg: &ScoreConfig,
 ) -> Result<(NetworkScores, ClassAttribution), PruneError> {
+    // Profiler scope: class-aware Taylor scoring is the candidate
+    // dominant cost (see ROADMAP's coarse-to-fine direction), so it
+    // gets its own frame in sampled flamegraphs.
+    let _span = cap_obs::span!("core.score");
     cfg.validate()?;
     let classes = data.classes();
     let mut rng = StdRng::seed_from_u64(cfg.seed);

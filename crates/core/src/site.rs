@@ -185,6 +185,7 @@ pub fn apply_site_pruning(
     site: &PrunableSite,
     keep: &[usize],
 ) -> Result<(), PruneError> {
+    let _span = cap_obs::span!("core.surgery");
     match site.kind {
         SiteKind::ResidualInternal { block_idx } => {
             let block = net

@@ -332,6 +332,14 @@ fn is_test_attr(inner: &str) -> bool {
 
 /// True when `word` appears in `text` delimited by non-identifier chars.
 pub fn has_word(text: &str, word: &str) -> bool {
+    find_word(text, word).is_some()
+}
+
+/// Byte offset of the first occurrence of `word` in `text` delimited
+/// by non-identifier chars. Masking is char-per-char position
+/// preserving, so an offset found on a masked line locates the same
+/// match on the raw line.
+pub fn find_word(text: &str, word: &str) -> Option<usize> {
     let bytes = text.as_bytes();
     let mut from = 0;
     while let Some(pos) = text[from..].find(word) {
@@ -340,11 +348,11 @@ pub fn has_word(text: &str, word: &str) -> bool {
         let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
         let right_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
         if left_ok && right_ok {
-            return true;
+            return Some(start);
         }
         from = start + 1;
     }
-    false
+    None
 }
 
 fn is_ident_byte(b: u8) -> bool {

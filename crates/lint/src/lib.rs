@@ -136,15 +136,22 @@ pub fn render_human(o: &Outcome) -> String {
     let mut s = String::new();
     for v in &o.violations {
         s.push_str(&format!(
-            "{}:{}: {} [{}/{}]: {} — {}\n",
+            "{}:{}:{}: {} [{}/{}]: {} — {}\n",
             v.path,
             v.line,
+            v.col,
             v.what,
             v.rule.code(),
             v.rule.name(),
             short(v.rule),
             v.rule.explain()
         ));
+        // Caret snippet: tabs become single spaces so the underline's
+        // char-column arithmetic holds on screen.
+        let snippet = v.snippet.replace('\t', " ");
+        let pad = " ".repeat(v.col.saturating_sub(1));
+        let carets = "^".repeat(v.end_col.saturating_sub(v.col).max(1));
+        s.push_str(&format!("    {snippet}\n    {pad}{carets}\n"));
     }
     for st in &o.stale {
         s.push_str(&format!(
@@ -191,11 +198,13 @@ pub fn render_json(o: &Outcome) -> String {
             s.push(',');
         }
         s.push_str(&format!(
-            "{{\"rule\":\"{}\",\"name\":\"{}\",\"path\":\"{}\",\"line\":{},\"what\":\"{}\"}}",
+            "{{\"rule\":\"{}\",\"name\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"end_col\":{},\"what\":\"{}\"}}",
             v.rule.code(),
             v.rule.name(),
             json_escape(&v.path),
             v.line,
+            v.col,
+            v.end_col,
             json_escape(&v.what)
         ));
     }
@@ -259,6 +268,9 @@ mod tests {
             rule,
             path: path.to_string(),
             line,
+            col: 5,
+            end_col: 6,
+            snippet: "    x();".to_string(),
             what: "`x`".to_string(),
         }
     }
@@ -303,6 +315,23 @@ mod tests {
         assert!(o.violations.is_empty());
         assert_eq!(o.stale.len(), 1);
         assert_eq!(o.exit_code(), 2);
+    }
+
+    #[test]
+    fn human_report_carets_underline_the_span() {
+        let o = apply_baseline(vec![v(RuleId::R001, "a.rs", 3)], &[], 1);
+        let h = render_human(&o);
+        assert!(h.contains("a.rs:3:5:"));
+        assert!(h.contains("\n        x();\n"));
+        // 4-space report indent + 4 columns of padding, then the caret.
+        assert!(h.contains("\n        ^\n"));
+    }
+
+    #[test]
+    fn json_carries_column_span() {
+        let o = apply_baseline(vec![v(RuleId::R001, "a.rs", 3)], &[], 1);
+        let j = render_json(&o);
+        assert!(j.contains("\"col\":5,\"end_col\":6"));
     }
 
     #[test]

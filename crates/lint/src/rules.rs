@@ -4,7 +4,7 @@
 //! test regions are exempted where the contract only binds shipping
 //! code.
 
-use crate::lexer::{has_word, mask};
+use crate::lexer::{find_word, mask};
 
 /// Identifier of one lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -113,8 +113,22 @@ pub struct Violation {
     pub path: String,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based char column where the match starts.
+    pub col: usize,
+    /// 1-based char column just past the match, so `col..end_col` is
+    /// the caret-underline span.
+    pub end_col: usize,
+    /// The raw source line, for caret snippets in reports.
+    pub snippet: String,
     /// What was matched, e.g. `` `thread::spawn` ``.
     pub what: String,
+}
+
+/// Converts a byte offset into `line` to a 1-based char column.
+/// Masking blanks multi-byte chars to single spaces, so char columns
+/// (not byte columns) are what raw and masked lines agree on.
+fn char_col(line: &str, byte: usize) -> usize {
+    line[..byte.min(line.len())].chars().count() + 1
 }
 
 /// True for paths whose whole content is test/demo code: integration
@@ -178,6 +192,7 @@ const TEXT_RULES: &[TextRule] = &[
 /// on it.
 pub fn check_rust(path: &str, src: &str) -> Vec<Violation> {
     let masked = mask(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
     let mut out = Vec::new();
     let whole_file_test = is_test_path(path);
 
@@ -194,15 +209,19 @@ pub fn check_rust(path: &str, src: &str) -> Vec<Violation> {
             }
             for &(needle, word) in rule.patterns {
                 let hit = if word {
-                    has_word(line, needle)
+                    find_word(line, needle)
                 } else {
-                    line.contains(needle)
+                    line.find(needle)
                 };
-                if hit {
+                if let Some(pos) = hit {
+                    let col = char_col(line, pos);
                     out.push(Violation {
                         rule: rule.id,
                         path: path.to_string(),
                         line: idx + 1,
+                        col,
+                        end_col: col + needle.chars().count(),
+                        snippet: raw_lines.get(idx).copied().unwrap_or("").to_string(),
                         what: format!("`{needle}`"),
                     });
                     break;
@@ -214,14 +233,18 @@ pub fn check_rust(path: &str, src: &str) -> Vec<Violation> {
     // R006 applies everywhere, including test code: an undocumented
     // unsafe block is equally suspect in a test.
     for (idx, line) in masked.code.iter().enumerate() {
-        if !has_word(line, "unsafe") {
+        let Some(pos) = find_word(line, "unsafe") else {
             continue;
-        }
+        };
         if !has_safety_comment(&masked.comments, idx) {
+            let col = char_col(line, pos);
             out.push(Violation {
                 rule: RuleId::R006,
                 path: path.to_string(),
                 line: idx + 1,
+                col,
+                end_col: col + "unsafe".len(),
+                snippet: raw_lines.get(idx).copied().unwrap_or("").to_string(),
                 what: "`unsafe` without `// SAFETY:`".to_string(),
             });
         }
@@ -260,6 +283,7 @@ fn has_safety_comment(comments: &[String], line: usize) -> bool {
 /// Anything with `version`, `git`, or a bare `"x.y"` requirement is an
 /// external dependency and violates the zero-dependency guarantee.
 pub fn check_manifest(path: &str, src: &str) -> Vec<Violation> {
+    let lines: Vec<&str> = src.lines().collect();
     let mut out = Vec::new();
     let mut in_dep_table = false; // inside [dependencies]-like section
     let mut dotted_dep: Option<(usize, bool)> = None; // [dependencies.foo]: (header line, seen ok key)
@@ -275,7 +299,7 @@ pub fn check_manifest(path: &str, src: &str) -> Vec<Violation> {
             // section starts.
             if let Some((hdr, ok)) = dotted_dep.take() {
                 if !ok {
-                    out.push(manifest_violation(path, hdr + 1, "table dependency"));
+                    out.push(manifest_violation(path, hdr, &lines, "table dependency"));
                 }
             }
             let section = trimmed.trim_matches(['[', ']']);
@@ -312,22 +336,33 @@ pub fn check_manifest(path: &str, src: &str) -> Vec<Violation> {
             || trimmed.contains("path = ")
             || trimmed.contains("path=");
         if !ok && trimmed.contains('=') {
-            out.push(manifest_violation(path, idx + 1, "dependency"));
+            out.push(manifest_violation(path, idx, &lines, "dependency"));
         }
     }
     if let Some((hdr, ok)) = dotted_dep {
         if !ok {
-            out.push(manifest_violation(path, hdr + 1, "table dependency"));
+            out.push(manifest_violation(path, hdr, &lines, "table dependency"));
         }
     }
     out
 }
 
-fn manifest_violation(path: &str, line: usize, kind: &str) -> Violation {
+/// Builds an R007 finding at 0-based line `idx`, underlining the
+/// comment-stripped content of the line.
+fn manifest_violation(path: &str, idx: usize, lines: &[&str], kind: &str) -> Violation {
+    let raw = lines.get(idx).copied().unwrap_or("");
+    let stripped = strip_toml_comment(raw);
+    let trimmed = stripped.trim();
+    let col = stripped
+        .find(|c: char| !c.is_whitespace())
+        .map_or(1, |b| char_col(stripped, b));
     Violation {
         rule: RuleId::R007,
         path: path.to_string(),
-        line,
+        line: idx + 1,
+        col,
+        end_col: col + trimmed.chars().count().max(1),
+        snippet: raw.to_string(),
         what: format!("{kind} without `workspace = true` or `path = ...`"),
     }
 }

@@ -1,7 +1,7 @@
 // R001 fixture: raw thread creation outside crates/par.
 fn live() {
-    let h = std::thread::spawn(|| 1); //~ R001
-    let _b = std::thread::Builder::new(); //~ R001
+    let h = std::thread::spawn(|| 1); //~ R001 @18..31
+    let _b = std::thread::Builder::new(); //~ R001 @19..34
     h.join().ok();
 }
 

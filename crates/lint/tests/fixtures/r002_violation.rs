@@ -1,6 +1,6 @@
 // R002 fixture: durable writes bypassing cap_obs::fsx::atomic_write.
 pub fn save(path: &str, bytes: &[u8]) {
-    std::fs::write(path, bytes).ok(); //~ R002
-    let _f = std::fs::File::create(path); //~ R002
-    let _o = std::fs::OpenOptions::new(); //~ R002
+    std::fs::write(path, bytes).ok(); //~ R002 @10..19
+    let _f = std::fs::File::create(path); //~ R002 @23..35
+    let _o = std::fs::OpenOptions::new(); //~ R002 @23..34
 }

@@ -1,9 +1,9 @@
 // R003 fixture: iteration-order-nondeterministic hash collections.
-use std::collections::HashMap; //~ R003
+use std::collections::HashMap; //~ R003 @23..30
 
 fn tally(keys: &[u32]) -> usize {
-    let mut seen: std::collections::HashSet<u32> = Default::default(); //~ R003
+    let mut seen: std::collections::HashSet<u32> = Default::default(); //~ R003 @37..44
     seen.extend(keys);
-    let m: HashMap<u32, u32> = HashMap::new(); //~ R003
+    let m: HashMap<u32, u32> = HashMap::new(); //~ R003 @12..19
     seen.len() + m.len()
 }

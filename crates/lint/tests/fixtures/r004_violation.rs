@@ -1,7 +1,7 @@
 // R004 fixture: raw wall-clock reads outside the telemetry layer.
 fn elapsed() -> f64 {
-    let t0 = std::time::Instant::now(); //~ R004
-    let _wall = std::time::SystemTime::now(); //~ R004
+    let t0 = std::time::Instant::now(); //~ R004 @25..37
+    let _wall = std::time::SystemTime::now(); //~ R004 @28..43
     t0.elapsed().as_secs_f64()
 }
 

@@ -1,8 +1,8 @@
 // R005 fixture: panic paths in a hot-path crate (checked under a
 // crates/nn/src/ synthetic path).
 pub fn hot(v: &[f32]) -> f32 {
-    let first = v.first().unwrap(); //~ R005
-    let second = v.get(1).expect("needs two entries"); //~ R005
+    let first = v.first().unwrap(); //~ R005 @26..35
+    let second = v.get(1).expect("needs two entries"); //~ R005 @26..34
     first + second
 }
 

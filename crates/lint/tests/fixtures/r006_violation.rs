@@ -1,7 +1,7 @@
 // R006 fixture: unsafe without a SAFETY comment — including inside
 // test code (the rule is not test-exempt).
 pub fn deref(p: *const u8) -> u8 {
-    unsafe { *p } //~ R006
+    unsafe { *p } //~ R006 @5..11
 }
 
 #[cfg(test)]
@@ -9,16 +9,16 @@ mod tests {
     #[test]
     fn undocumented_unsafe_in_tests_still_fires() {
         let x = 7u8;
-        let _ = unsafe { *(&x as *const u8) }; //~ R006
+        let _ = unsafe { *(&x as *const u8) }; //~ R006 @17..23
     }
 }
 
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn undocumented_intrinsics(p: *const f32) -> f32 { //~ R006
+unsafe fn undocumented_intrinsics(p: *const f32) -> f32 { //~ R006 @1..7
     *p
 }
 
 pub fn undocumented_call_site(p: *const f32) -> f32 {
-    unsafe { undocumented_intrinsics(p) } //~ R006
+    unsafe { undocumented_intrinsics(p) } //~ R006 @5..11
 }

@@ -1,26 +1,70 @@
 //! Table-driven fixture tests: every rule R001–R007 must fire exactly
 //! on the lines its `*_violation` fixture marks with `//~ Rnnn` (or
 //! `#~ Rnnn` in TOML fixtures) and stay silent on its `*_clean`
-//! fixture.
+//! fixture. A marker may append `@start..end` to also assert the
+//! 1-based char-column span the caret snippet underlines, e.g.
+//! `//~ R001 @18..31`.
 
-use cap_lint::rules::{check_manifest, check_rust, RuleId};
+use cap_lint::rules::{check_manifest, check_rust, RuleId, Violation};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
-/// Extracts `(line, rule)` expectations from `~ Rnnn` markers.
-fn expected(src: &str) -> Vec<(usize, RuleId)> {
+/// One `~ Rnnn [@start..end]` marker expectation.
+#[derive(Debug, PartialEq)]
+struct Expect {
+    line: usize,
+    rule: RuleId,
+    span: Option<(usize, usize)>,
+}
+
+/// Extracts expectations from `~ Rnnn [@start..end]` markers.
+fn expected(src: &str) -> Vec<Expect> {
     let mut out = Vec::new();
     for (idx, line) in src.lines().enumerate() {
-        if let Some(pos) = line.find("~ R") {
-            let code = &line[pos + 2..pos + 6];
-            let rule = RuleId::parse(code).unwrap_or_else(|| panic!("bad marker {code}"));
-            out.push((idx + 1, rule));
-        }
+        let Some(pos) = line.find("~ R") else {
+            continue;
+        };
+        let code = &line[pos + 2..pos + 6];
+        let rule = RuleId::parse(code).unwrap_or_else(|| panic!("bad marker {code}"));
+        let span = line[pos + 6..].trim().strip_prefix('@').map(|rest| {
+            let (a, b) = rest
+                .split_once("..")
+                .unwrap_or_else(|| panic!("bad span marker {rest:?} (want @start..end)"));
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|e| panic!("bad span bound {s:?}: {e}"))
+            };
+            (parse(a), parse(b))
+        });
+        out.push(Expect {
+            line: idx + 1,
+            rule,
+            span,
+        });
     }
     out
+}
+
+/// Asserts findings match the fixture's markers: always line + rule,
+/// and the column span wherever a marker pins one.
+fn assert_matches(got: &[Violation], want: &[Expect], ctx: &str) {
+    let got_brief: Vec<(usize, RuleId)> = got.iter().map(|v| (v.line, v.rule)).collect();
+    let want_brief: Vec<(usize, RuleId)> = want.iter().map(|e| (e.line, e.rule)).collect();
+    assert_eq!(got_brief, want_brief, "{ctx}");
+    for (v, e) in got.iter().zip(want) {
+        if let Some((start, end)) = e.span {
+            assert_eq!(
+                (v.col, v.end_col),
+                (start, end),
+                "{ctx}: span at line {}",
+                e.line
+            );
+        }
+    }
 }
 
 /// `(fixture file, synthetic workspace-relative path to check under)`.
@@ -43,12 +87,12 @@ const RUST_CASES: &[(&str, &str)] = &[
 fn every_rule_fires_exactly_where_marked() {
     for &(name, path) in RUST_CASES {
         let src = fixture(name);
-        let got: Vec<(usize, RuleId)> = check_rust(path, &src)
-            .into_iter()
-            .map(|v| (v.line, v.rule))
-            .collect();
-        let want = expected(&src);
-        assert_eq!(got, want, "fixture {name} under path {path}");
+        let got = check_rust(path, &src);
+        assert_matches(
+            &got,
+            &expected(&src),
+            &format!("fixture {name} under path {path}"),
+        );
     }
 }
 
@@ -56,11 +100,8 @@ fn every_rule_fires_exactly_where_marked() {
 fn manifest_rule_fires_exactly_where_marked() {
     for name in ["r007_violation.toml", "r007_clean.toml"] {
         let src = fixture(name);
-        let got: Vec<(usize, RuleId)> = check_manifest("crates/demo/Cargo.toml", &src)
-            .into_iter()
-            .map(|v| (v.line, v.rule))
-            .collect();
-        assert_eq!(got, expected(&src), "fixture {name}");
+        let got = check_manifest("crates/demo/Cargo.toml", &src);
+        assert_matches(&got, &expected(&src), &format!("fixture {name}"));
     }
 }
 

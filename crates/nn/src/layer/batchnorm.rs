@@ -251,8 +251,7 @@ impl BatchNorm2d {
                             let g = f64::from(gamma[ch]);
                             let b = f64::from(beta[ch]);
                             for off in 0..plane {
-                                let xh =
-                                    (f64::from(x_data[base + off]) - means[ch]) * inv_stds[ch];
+                                let xh = (f64::from(x_data[base + off]) - means[ch]) * inv_stds[ch];
                                 xh_chunk[local + off] = xh as f32;
                                 out_chunk[local + off] = (g * xh + b) as f32;
                             }

@@ -20,7 +20,7 @@ use crate::tsdb::Sample;
 const SPARK_W: f64 = 280.0;
 const SPARK_H: f64 = 60.0;
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -61,7 +61,7 @@ fn numeric_suffixes(samples: &[Sample], prefix: &str) -> Vec<u32> {
     ks
 }
 
-fn fmt(v: f64) -> String {
+pub(crate) fn fmt(v: f64) -> String {
     if v == 0.0 {
         return "0".to_string();
     }
@@ -73,8 +73,10 @@ fn fmt(v: f64) -> String {
     }
 }
 
-/// One inline-SVG sparkline with min/max/last labels.
-fn sparkline(title: &str, points: &[(f64, f64)]) -> String {
+/// One inline-SVG sparkline with min/max/last labels. Shared with the
+/// perf-trend page ([`crate::trend`]), which plots run index on the x
+/// axis instead of time.
+pub(crate) fn sparkline(title: &str, points: &[(f64, f64)]) -> String {
     if points.is_empty() {
         return format!(
             "<div class=\"panel\"><h3>{}</h3><p class=\"empty\">no data</p></div>\n",

@@ -60,13 +60,16 @@ pub mod alerts;
 pub mod clock;
 pub mod dash;
 pub mod expo;
+pub mod flame;
 pub mod flight;
 pub mod fsx;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod recorder;
 pub mod serve;
 pub mod sink;
+pub mod trend;
 pub mod tsdb;
 
 mod event;
@@ -333,6 +336,8 @@ pub struct Telemetry {
     /// Address of the live telemetry server, when `CAP_METRICS_ADDR`
     /// started one.
     pub serving: Option<SocketAddr>,
+    /// Whether `CAP_PROF_HZ` started the sampling profiler.
+    pub profiling: bool,
 }
 
 /// One-call telemetry setup shared by every binary in the workspace
@@ -343,11 +348,15 @@ pub struct Telemetry {
 ///    when given, else from `CAP_TRACE`;
 /// 2. when `CAP_METRICS_ADDR` is set (e.g. `127.0.0.1:9184`), starts
 ///    the process-global [`serve`] server there — which also enables
-///    instrumentation and the [`flight`] recorder.
+///    instrumentation and the [`flight`] recorder;
+/// 3. when `CAP_PROF_HZ` is set, starts the sampling [`prof`]iler at
+///    that rate (writing to `CAP_PROF_OUT` if given; a run directory
+///    opened later retargets the output to its `profile.folded`).
 ///
 /// # Errors
 ///
-/// Propagates [`init_from_spec`] errors and server bind failures.
+/// Propagates [`init_from_spec`] errors, server bind failures, and
+/// profiler spawn failures.
 pub fn init_telemetry(cli_trace: Option<&str>) -> Result<Telemetry, String> {
     let tracing = match cli_trace {
         Some(spec) => init_from_spec(spec).map(|()| true)?,
@@ -357,7 +366,21 @@ pub fn init_telemetry(cli_trace: Option<&str>) -> Result<Telemetry, String> {
         Ok(addr) if !addr.is_empty() => Some(serve::start_global(&addr)?),
         _ => None,
     };
-    Ok(Telemetry { tracing, serving })
+    let profiling = match prof::hz_from_env() {
+        Some(hz) => {
+            let out = std::env::var("CAP_PROF_OUT")
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(std::path::PathBuf::from);
+            prof::start_global(hz, out)?
+        }
+        None => false,
+    };
+    Ok(Telemetry {
+        tracing,
+        serving,
+        profiling,
+    })
 }
 
 /// The shared end-of-process counterpart to [`init_telemetry`], routed
@@ -367,8 +390,9 @@ pub fn init_telemetry(cli_trace: Option<&str>) -> Result<Telemetry, String> {
 /// 1. honours `CAP_FLIGHT_DUMP=<path>` by writing the flight-recorder
 ///    chrome trace there (emitting a `flight_dump` event either way);
 /// 2. stops the sampling [`recorder`] (final fsync'd sample);
-/// 3. stops the global [`serve`] server;
-/// 4. flushes the event sink.
+/// 3. stops the sampling [`prof`]iler (final `profile.folded` write);
+/// 4. stops the global [`serve`] server;
+/// 5. flushes the event sink.
 ///
 /// # Errors
 ///
@@ -389,6 +413,7 @@ pub fn finalize_process() -> Result<(), String> {
         }
     }
     recorder::stop_global();
+    prof::stop_global();
     serve::stop_global();
     flush();
     result

@@ -11,10 +11,14 @@
 //! | `/trace` | the flight recorder | chrome://tracing trace-event JSON |
 //! | `/api/series` | recorded history ([`crate::recorder`]) | JSON (`?name=<series>&from=<seq>&to=<seq>&downsample=<n>`) |
 //! | `/dash` | run-history dashboard ([`crate::dash`]) | self-contained HTML |
+//! | `/prof` | live sampling-profiler flamegraph ([`crate::prof`] + [`crate::flame`]) | SVG |
 //!
 //! The server also observes itself: every request bumps a per-route
 //! counter (`obs.http.requests.<route>`) and records its handling time
-//! into the `obs.http.handle_us` histogram, both visible in `/metrics`.
+//! into the `obs.http.handle_us` histogram; the heavier rendering
+//! routes (`/prof`, `/dash`, `/api/series`) additionally get their own
+//! `obs.http.handle_us.<route>` histogram rows. All visible in
+//! `/metrics`.
 //!
 //! The server only *reads* shared state, so leaving it running cannot
 //! affect workload results — the determinism contract of `cap-par`
@@ -141,7 +145,11 @@ fn handle_connection(mut stream: TcpStream) {
     let (status, content_type, body) = route(method, path);
     crate::counter_add("obs.http_requests_total", 1);
     crate::counter_add(route_counter(path), 1);
-    crate::histogram_record("obs.http.handle_us", started.elapsed().as_secs_f64() * 1e6);
+    let handle_us = started.elapsed().as_secs_f64() * 1e6;
+    crate::histogram_record("obs.http.handle_us", handle_us);
+    if let Some(name) = route_handle_histogram(path) {
+        crate::histogram_record(name, handle_us);
+    }
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
@@ -161,7 +169,21 @@ fn route_counter(path: &str) -> &'static str {
         "/trace" => "obs.http.requests.trace",
         "/api/series" => "obs.http.requests.api_series",
         "/dash" => "obs.http.requests.dash",
+        "/prof" => "obs.http.requests.prof",
         _ => "obs.http.requests.other",
+    }
+}
+
+/// Per-route handle-duration histogram for the rendering routes whose
+/// cost is worth watching individually (static names only, same rule
+/// as [`route_counter`]). The cheap routes only feed the shared
+/// `obs.http.handle_us`.
+fn route_handle_histogram(path: &str) -> Option<&'static str> {
+    match path.split('?').next().unwrap_or("") {
+        "/api/series" => Some("obs.http.handle_us.api_series"),
+        "/dash" => Some("obs.http.handle_us.dash"),
+        "/prof" => Some("obs.http.handle_us.prof"),
+        _ => None,
     }
 }
 
@@ -203,10 +225,15 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "text/html; charset=utf-8",
             crate::dash::render(&crate::recorder::memory_samples(), "live"),
         ),
+        "/prof" => (
+            "200 OK",
+            "image/svg+xml; charset=utf-8",
+            crate::flame::render_svg(&crate::prof::live_stacks(), "live profile"),
+        ),
         _ => (
             "404 Not Found",
             "text/plain; charset=utf-8",
-            "routes: /metrics /healthz /report /trace /api/series /dash\n".to_string(),
+            "routes: /metrics /healthz /report /trace /api/series /dash /prof\n".to_string(),
         ),
     }
 }
@@ -480,7 +507,31 @@ mod tests {
             "obs.http.requests.api_series"
         );
         assert_eq!(route_counter("/dash?x"), "obs.http.requests.dash");
+        assert_eq!(route_counter("/prof"), "obs.http.requests.prof");
         assert_eq!(route_counter("/%2e%2e/etc"), "obs.http.requests.other");
+        assert_eq!(
+            route_handle_histogram("/prof?x"),
+            Some("obs.http.handle_us.prof")
+        );
+        assert_eq!(
+            route_handle_histogram("/dash"),
+            Some("obs.http.handle_us.dash")
+        );
+        assert_eq!(
+            route_handle_histogram("/api/series?name=x"),
+            Some("obs.http.handle_us.api_series")
+        );
+        assert_eq!(route_handle_histogram("/metrics"), None);
+        assert_eq!(route_handle_histogram("/%2e%2e/etc"), None);
+    }
+
+    #[test]
+    fn prof_route_serves_svg_even_without_a_profiler() {
+        let (status, content_type, body) = route("GET", "/prof");
+        assert!(status.starts_with("200"));
+        assert!(content_type.starts_with("image/svg+xml"));
+        assert!(body.starts_with("<svg"), "{body}");
+        assert!(body.ends_with("</svg>\n"), "{body}");
     }
 
     #[test]

@@ -27,6 +27,11 @@ impl SpanGuard {
             return SpanGuard { active: None };
         }
         STACK.with(|s| s.borrow_mut().push(name));
+        // Mirror the push for the sampling profiler (one relaxed load
+        // when off; the disabled-span path above is untouched).
+        if crate::prof::mirroring() {
+            crate::prof::on_span_enter(name);
+        }
         SpanGuard {
             active: Some((Instant::now(), name)),
         }
@@ -49,6 +54,9 @@ impl Drop for SpanGuard {
             }
             path
         });
+        if crate::prof::mirroring() {
+            crate::prof::on_span_exit(name);
+        }
         crate::registry().histogram_record(&format!("span.{path}"), elapsed_ns);
         if crate::flight::enabled() {
             crate::flight::record_span(&path, crate::instant_offset_us(start), elapsed_ns / 1e3);

@@ -1,0 +1,602 @@
+//! Cross-run perf-trend observatory over `results/bench_history.jsonl`.
+//!
+//! `bench_baseline` used to overwrite `BENCH_kernels.json` on every
+//! run, so the perf trajectory across PRs existed only in prose. This
+//! module gives it a durable spine: each bench run *appends* one JSON
+//! line — host fingerprint, `CAP_SIMD`/`CAP_THREADS` point,
+//! min-over-interleaved-rounds kernel timings with GFLOP/s, and the
+//! commit when available — through the same append discipline as
+//! `alerts.jsonl` ([`crate::fsx::AppendFile`], line-delimited so a
+//! torn tail from a crash is skipped by the loader, never misparsed).
+//!
+//! On top of the history:
+//!
+//! - [`render_trend_html`] renders per-kernel GFLOP/s sparklines
+//!   across runs in the dashboard's visual language (`capctl bench
+//!   trend`);
+//! - [`compare_runs`] applies the EXPERIMENTS.md noise policy
+//!   (`capctl bench compare A B`): on this 1-core host, absolute
+//!   timings across runs carry ±20% noise, so only **within-run
+//!   interleaved ratios** (AVX2 vs scalar, blocked vs naive — variants
+//!   timed in the same interleaved rounds) are gateable. Cross-run
+//!   absolute deltas are reported as advisory flags, never as
+//!   failures.
+
+use crate::json::{self, Json};
+use crate::{dash, fsx};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Default location of the history, next to the other durable bench
+/// artifacts.
+pub const DEFAULT_HISTORY_PATH: &str = "results/bench_history.jsonl";
+
+/// A within-run ratio must retain at least this fraction of its
+/// previous value before `compare` calls it a regression. Measured
+/// back-to-back same-build runs on this 1-core host swing small-shape
+/// ratios by up to ~30% (EXPERIMENTS.md), so the gate fires only on
+/// structural collapses — e.g. a SIMD path silently disabled drops
+/// avx2-vs-naive from ~3-5x to ~1x, far below any noise. Shifts
+/// between the advisory bound and this floor are reported, not gated.
+pub const RATIO_FLOOR: f64 = 0.6;
+/// Cross-run absolute deltas beyond this fraction are flagged
+/// (advisory only — never a failure).
+pub const ADVISORY_DELTA: f64 = 0.2;
+
+/// Longest history line the loader will consider (a corrupt file must
+/// not balloon memory).
+const MAX_LINE: usize = 1 << 20;
+
+/// One kernel measurement inside a [`BenchRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Pinned SIMD mode for the row (`none` for the naive reference).
+    pub mode: String,
+    /// Operation (`matmul`, `matmul_naive_ref`, …).
+    pub op: String,
+    /// Shape label (`1024x1024x1024`, …).
+    pub shape: String,
+    /// Min-over-interleaved-rounds nanoseconds per iteration.
+    pub ns: f64,
+    /// Throughput derived from `ns` (0 when not meaningful).
+    pub gflops: f64,
+}
+
+/// One appended bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// Unix seconds when the run was appended.
+    pub t: f64,
+    /// Host fingerprint: target architecture.
+    pub arch: String,
+    /// Host fingerprint: operating system.
+    pub os: String,
+    /// Host fingerprint: available parallelism at run time.
+    pub parallelism: u64,
+    /// Effective `CAP_SIMD` setting (`auto` when unset).
+    pub simd: String,
+    /// The run's `--threads` measurement point.
+    pub threads: u64,
+    /// Whether this was a `--smoke` run.
+    pub smoke: bool,
+    /// `git rev-parse --short HEAD` when available.
+    pub commit: Option<String>,
+    /// Kernel rows, in measurement order.
+    pub kernels: Vec<KernelPoint>,
+}
+
+impl BenchRun {
+    /// A run stamped with the current time and host fingerprint.
+    pub fn now(simd: String, threads: u64, smoke: bool, commit: Option<String>) -> BenchRun {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0.0, |d| d.as_secs_f64());
+        BenchRun {
+            t,
+            arch: std::env::consts::ARCH.to_string(),
+            os: std::env::consts::OS.to_string(),
+            parallelism: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            simd,
+            threads,
+            smoke,
+            commit,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// One-line description for listings: index, commit, config, host.
+    pub fn describe(&self, index: usize) -> String {
+        format!(
+            "#{index} commit={} simd={} threads={} smoke={} {}/{} p={} ({} kernels)",
+            self.commit.as_deref().unwrap_or("-"),
+            self.simd,
+            self.threads,
+            self.smoke,
+            self.arch,
+            self.os,
+            self.parallelism,
+            self.kernels.len()
+        )
+    }
+
+    fn render_line(&self) -> String {
+        let mut out = String::from("{\"t\":");
+        json::write_f64(&mut out, self.t);
+        out.push_str(",\"arch\":");
+        json::write_str(&mut out, &self.arch);
+        out.push_str(",\"os\":");
+        json::write_str(&mut out, &self.os);
+        out.push_str(",\"parallelism\":");
+        out.push_str(&self.parallelism.to_string());
+        out.push_str(",\"simd\":");
+        json::write_str(&mut out, &self.simd);
+        out.push_str(",\"threads\":");
+        out.push_str(&self.threads.to_string());
+        out.push_str(",\"smoke\":");
+        out.push_str(if self.smoke { "true" } else { "false" });
+        out.push_str(",\"commit\":");
+        match &self.commit {
+            Some(c) => json::write_str(&mut out, c),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"kernels\":[");
+        for (i, k) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"mode\":");
+            json::write_str(&mut out, &k.mode);
+            out.push_str(",\"op\":");
+            json::write_str(&mut out, &k.op);
+            out.push_str(",\"shape\":");
+            json::write_str(&mut out, &k.shape);
+            out.push_str(",\"ns\":");
+            json::write_f64(&mut out, k.ns);
+            out.push_str(",\"gflops\":");
+            json::write_f64(&mut out, k.gflops);
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Appends `run` as one durable line (fsync'd, parent directories
+/// created as needed).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn append_run(path: &Path, run: &BenchRun) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = fsx::AppendFile::open(path)?;
+    file.append_durable(run.render_line().as_bytes())
+}
+
+fn parse_line(line: &str) -> Option<BenchRun> {
+    let v = json::parse(line).ok()?;
+    if !matches!(v, Json::Obj(_)) {
+        return None;
+    }
+    let str_of = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+    let mut kernels = Vec::new();
+    if let Some(Json::Arr(items)) = v.get("kernels") {
+        for item in items {
+            let field = |key: &str| item.get(key).and_then(Json::as_str);
+            let num = |key: &str| item.get(key).and_then(Json::as_f64);
+            let (Some(mode), Some(op), Some(shape)) = (field("mode"), field("op"), field("shape"))
+            else {
+                continue;
+            };
+            let ns = num("ns").unwrap_or(f64::NAN);
+            if !ns.is_finite() || ns <= 0.0 {
+                continue;
+            }
+            kernels.push(KernelPoint {
+                mode: mode.to_string(),
+                op: op.to_string(),
+                shape: shape.to_string(),
+                ns,
+                gflops: num("gflops").filter(|g| g.is_finite()).unwrap_or(0.0),
+            });
+        }
+    }
+    Some(BenchRun {
+        t: v.get("t").and_then(Json::as_f64).unwrap_or(0.0),
+        arch: str_of("arch").unwrap_or_default(),
+        os: str_of("os").unwrap_or_default(),
+        parallelism: v.get("parallelism").and_then(Json::as_u64).unwrap_or(0),
+        simd: str_of("simd").unwrap_or_else(|| "auto".to_string()),
+        threads: v.get("threads").and_then(Json::as_u64).unwrap_or(0),
+        smoke: v.get("smoke") == Some(&Json::Bool(true)),
+        commit: str_of("commit"),
+        kernels,
+    })
+}
+
+/// Loads the history, tolerating hostility: a missing file is an empty
+/// history, invalid UTF-8 is replaced lossily, malformed or overlong
+/// lines are skipped, and an unterminated final line (torn tail from a
+/// crash mid-append) is dropped cleanly. Never panics.
+pub fn load_history(path: &Path) -> Vec<BenchRun> {
+    let Ok(bytes) = std::fs::read(path) else {
+        return Vec::new();
+    };
+    let text = String::from_utf8_lossy(&bytes);
+    // Only newline-terminated lines are trusted.
+    let complete = match text.rfind('\n') {
+        Some(pos) => &text[..pos + 1],
+        None => "",
+    };
+    complete
+        .lines()
+        .filter(|l| !l.is_empty() && l.len() <= MAX_LINE)
+        .filter_map(parse_line)
+        .collect()
+}
+
+/// Resolves a run selector against the history: a 1-based index
+/// (`1` = oldest), a negative index from the end (`-1` = latest), or a
+/// commit-hash prefix. Returns the 1-based index and the run.
+///
+/// # Errors
+///
+/// Describes an out-of-range index, an unknown commit, or an ambiguous
+/// prefix.
+pub fn select<'a>(runs: &'a [BenchRun], sel: &str) -> Result<(usize, &'a BenchRun), String> {
+    if runs.is_empty() {
+        return Err("bench history is empty".to_string());
+    }
+    if let Ok(i) = sel.parse::<i64>() {
+        let n = runs.len() as i64;
+        let idx = if i > 0 { i - 1 } else { n + i };
+        if idx < 0 || idx >= n {
+            return Err(format!(
+                "run index {sel} out of range 1..={n} (or -{n}..=-1)"
+            ));
+        }
+        let idx = idx as usize;
+        return Ok((idx + 1, &runs[idx]));
+    }
+    let matches: Vec<(usize, &BenchRun)> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.commit.as_deref().is_some_and(|c| c.starts_with(sel)))
+        .map(|(i, r)| (i + 1, r))
+        .collect();
+    match matches.as_slice() {
+        [] => Err(format!("no run with commit prefix {sel:?}")),
+        [one] => Ok(*one),
+        many => Err(format!(
+            "commit prefix {sel:?} matches {} runs; use an index",
+            many.len()
+        )),
+    }
+}
+
+/// Per-kernel key used for trend grouping and cross-run deltas.
+fn kernel_key(k: &KernelPoint) -> String {
+    format!("{} {} @ {}", k.mode, k.op, k.shape)
+}
+
+/// The within-run interleaved ratios the noise policy allows gating
+/// on: variants of the same op timed in the same interleaved rounds.
+fn within_run_ratios(run: &BenchRun) -> BTreeMap<String, f64> {
+    let ns_of = |mode: &str, op: &str, shape: &str| {
+        run.kernels
+            .iter()
+            .find(|k| k.mode == mode && k.op == op && k.shape == shape)
+            .map(|k| k.ns)
+    };
+    let mut ratios = BTreeMap::new();
+    let shapes: Vec<&str> = {
+        let mut s: Vec<&str> = run.kernels.iter().map(|k| k.shape.as_str()).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    for shape in shapes {
+        let naive = ns_of("none", "matmul_naive_ref", shape);
+        for mode in ["scalar", "avx2"] {
+            if let (Some(ns), Some(naive)) = (ns_of(mode, "matmul", shape), naive) {
+                ratios.insert(format!("{mode} matmul vs naive @ {shape}"), naive / ns);
+            }
+        }
+        if let (Some(avx2), Some(scalar)) = (
+            ns_of("avx2", "matmul", shape),
+            ns_of("scalar", "matmul", shape),
+        ) {
+            ratios.insert(format!("avx2 vs scalar matmul @ {shape}"), scalar / avx2);
+        }
+    }
+    ratios
+}
+
+/// What [`compare_runs`] found.
+#[derive(Debug, Default, PartialEq)]
+pub struct Comparison {
+    /// Within-run interleaved ratios that fell below [`RATIO_FLOOR`] ×
+    /// their value in the baseline run. These are gateable.
+    pub regressions: Vec<String>,
+    /// Cross-run absolute deltas beyond [`ADVISORY_DELTA`], ratio
+    /// shifts that stayed above [`RATIO_FLOOR`], and ratios present in
+    /// only one run. Advisory only.
+    pub advisories: Vec<String>,
+}
+
+/// Compares run `b` against baseline run `a` under the EXPERIMENTS.md
+/// noise policy: only within-run interleaved ratios can regress;
+/// cross-run absolute timings are advisory because this host carries
+/// ±20% run-to-run noise.
+pub fn compare_runs(a: &BenchRun, b: &BenchRun) -> Comparison {
+    let mut cmp = Comparison::default();
+    let ra = within_run_ratios(a);
+    let rb = within_run_ratios(b);
+    for (key, va) in &ra {
+        match rb.get(key) {
+            Some(vb) if *vb < va * RATIO_FLOOR => cmp.regressions.push(format!(
+                "{key}: {vb:.2}x, was {va:.2}x (floor {:.2}x)",
+                va * RATIO_FLOOR
+            )),
+            Some(vb) if (*vb - va).abs() > va * ADVISORY_DELTA => cmp.advisories.push(format!(
+                "{key}: {vb:.2}x, was {va:.2}x (within the ratio noise floor, advisory)"
+            )),
+            Some(_) => {}
+            None => cmp
+                .advisories
+                .push(format!("{key}: present only in baseline run")),
+        }
+    }
+    for key in rb.keys() {
+        if !ra.contains_key(key) {
+            cmp.advisories
+                .push(format!("{key}: present only in the new run"));
+        }
+    }
+    // Cross-run absolute deltas: flagged, never gated.
+    let a_ns: BTreeMap<String, f64> = a.kernels.iter().map(|k| (kernel_key(k), k.ns)).collect();
+    for k in &b.kernels {
+        if let Some(prev) = a_ns.get(&kernel_key(k)) {
+            let delta = (k.ns - prev) / prev;
+            if delta.abs() > ADVISORY_DELTA {
+                cmp.advisories.push(format!(
+                    "{}: {:+.1}% ns/iter cross-run (advisory: absolute timings carry \
+                     ±20% noise on this host)",
+                    kernel_key(k),
+                    delta * 100.0
+                ));
+            }
+        }
+    }
+    cmp
+}
+
+/// Renders the trend page: one GFLOP/s (or 1/ns) sparkline per kernel
+/// across run index, plus a run listing — same self-contained HTML
+/// idiom as the dashboard.
+pub fn render_trend_html(runs: &[BenchRun]) -> String {
+    let mut series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (i, run) in runs.iter().enumerate() {
+        for k in &run.kernels {
+            let value = if k.gflops > 0.0 { k.gflops } else { 1e9 / k.ns };
+            series
+                .entry(kernel_key(k))
+                .or_default()
+                .push(((i + 1) as f64, value));
+        }
+    }
+    let mut body = String::new();
+    for (key, points) in &series {
+        body.push_str(&dash::sparkline(&format!("{key} — GFLOP/s by run"), points));
+    }
+    if series.is_empty() {
+        body.push_str(
+            "<div class=\"panel\"><p class=\"empty\">no kernel rows recorded</p></div>\n",
+        );
+    }
+    let mut listing = String::from("<div class=\"panel wide\"><h3>runs</h3><ol>");
+    for (i, run) in runs.iter().enumerate() {
+        listing.push_str(&format!("<li>{}</li>", dash::esc(&run.describe(i + 1))));
+    }
+    listing.push_str(
+        "</ol><p class=\"stats\">within-run interleaved ratios are the only \
+                      gateable signal; cross-run absolute deltas are advisory (±20% host \
+                      noise — see EXPERIMENTS.md)</p></div>\n",
+    );
+    format!(
+        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>cap bench trends</title>\
+         <style>\
+         body{{font-family:system-ui,sans-serif;margin:1.5rem;background:#f8fafc;color:#0f172a}}\
+         .grid{{display:flex;flex-wrap:wrap;gap:1rem}}\
+         .panel{{background:#fff;border:1px solid #e2e8f0;border-radius:8px;padding:.75rem 1rem}}\
+         .panel.wide{{flex-basis:100%}}\
+         h1{{font-size:1.2rem}}h3{{margin:.1rem 0 .4rem;font-size:.85rem;font-weight:600}}\
+         .stats,.empty,.meta{{color:#64748b;font-size:.75rem;margin:.3rem 0 0}}\
+         ol{{margin:.2rem 0;padding-left:1.4rem;font-size:.8rem}}\
+         </style></head><body>\
+         <h1>class-aware pruning — kernel perf trends</h1>\
+         <p class=\"meta\">{} runs · {} kernel series</p>\
+         <div class=\"grid\">\n{listing}{body}</div></body></html>\n",
+        runs.len(),
+        series.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_with(simd: &str, kernels: &[(&str, &str, &str, f64)]) -> BenchRun {
+        let mut run = BenchRun {
+            t: 1000.0,
+            arch: "x86_64".to_string(),
+            os: "linux".to_string(),
+            parallelism: 1,
+            simd: simd.to_string(),
+            threads: 4,
+            smoke: true,
+            commit: Some("abc1234".to_string()),
+            kernels: Vec::new(),
+        };
+        for (mode, op, shape, ns) in kernels {
+            run.kernels.push(KernelPoint {
+                mode: (*mode).to_string(),
+                op: (*op).to_string(),
+                shape: (*shape).to_string(),
+                ns: *ns,
+                gflops: 2.0 * 1e9 / ns,
+            });
+        }
+        run
+    }
+
+    fn temp_history(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cap_trend_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn append_accumulates_and_round_trips() {
+        let path = temp_history("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let a = run_with("auto", &[("scalar", "matmul", "192x192x192", 1e6)]);
+        let mut b = a.clone();
+        b.commit = Some("def5678".to_string());
+        append_run(&path, &a).unwrap();
+        append_run(&path, &b).unwrap();
+        let runs = load_history(&path);
+        assert_eq!(runs.len(), 2, "appends, not overwrites");
+        assert_eq!(runs[0], a);
+        assert_eq!(runs[1], b);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_creates_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("cap_trend_dir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("history.jsonl");
+        append_run(&path, &run_with("auto", &[])).unwrap();
+        assert_eq!(load_history(&path).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loader_survives_hostile_bytes_and_torn_tails() {
+        let path = temp_history("hostile");
+        let good = run_with("auto", &[("avx2", "matmul", "1024x1024x1024", 5e5)]);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(good.render_line().as_bytes());
+        bytes.extend_from_slice(b"not json at all\n");
+        bytes.extend_from_slice(b"{\"t\":]]]\n");
+        bytes.extend_from_slice(&[0xff, 0xfe, 0x00, b'\n']);
+        bytes.extend_from_slice(b"[1,2,3]\n"); // valid JSON, not an object
+        bytes.extend_from_slice(good.render_line().as_bytes());
+        // Torn tail: a crash mid-append leaves no trailing newline.
+        bytes.extend_from_slice(b"{\"t\":123,\"arch\":\"x86");
+        std::fs::write(&path, &bytes).unwrap();
+        let runs = load_history(&path);
+        assert_eq!(runs.len(), 2, "only the two well-formed lines survive");
+        assert_eq!(runs[0], good);
+        assert_eq!(runs[1], good);
+        // Arbitrary bytes never panic.
+        let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+        for round in 0..100 {
+            let mut fuzz = Vec::new();
+            for _ in 0..(round * 11 % 400) {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                fuzz.push((state >> 33) as u8);
+            }
+            std::fs::write(&path, &fuzz).unwrap();
+            let _ = load_history(&path);
+        }
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            load_history(&path).is_empty(),
+            "missing file = empty history"
+        );
+    }
+
+    #[test]
+    fn select_resolves_indices_and_commit_prefixes() {
+        let mut a = run_with("auto", &[]);
+        a.commit = Some("aaa111".to_string());
+        let mut b = run_with("auto", &[]);
+        b.commit = Some("bbb222".to_string());
+        let runs = vec![a, b];
+        assert_eq!(select(&runs, "1").unwrap().0, 1);
+        assert_eq!(select(&runs, "2").unwrap().0, 2);
+        assert_eq!(select(&runs, "-1").unwrap().0, 2);
+        assert_eq!(select(&runs, "-2").unwrap().0, 1);
+        assert_eq!(select(&runs, "bbb").unwrap().0, 2);
+        assert!(select(&runs, "0").is_err());
+        assert!(select(&runs, "3").is_err());
+        assert!(select(&runs, "zzz").is_err());
+        assert!(select(&[], "1").is_err());
+    }
+
+    #[test]
+    fn compare_gates_only_within_run_ratios() {
+        let shape = "1024x1024x1024";
+        let base = run_with(
+            "auto",
+            &[
+                ("none", "matmul_naive_ref", shape, 10e6),
+                ("scalar", "matmul", shape, 5e6),
+                ("avx2", "matmul", shape, 1.25e6),
+            ],
+        );
+        // Same ratios, everything 30% slower in absolute terms: the
+        // noise policy says advisory only, never a failure.
+        let slower = run_with(
+            "auto",
+            &[
+                ("none", "matmul_naive_ref", shape, 13e6),
+                ("scalar", "matmul", shape, 6.5e6),
+                ("avx2", "matmul", shape, 1.625e6),
+            ],
+        );
+        let cmp = compare_runs(&base, &slower);
+        assert!(cmp.regressions.is_empty(), "{:?}", cmp.regressions);
+        assert!(!cmp.advisories.is_empty(), "30% deltas should be flagged");
+
+        // AVX2 lost half its edge within-run: gateable regression.
+        let regressed = run_with(
+            "auto",
+            &[
+                ("none", "matmul_naive_ref", shape, 10e6),
+                ("scalar", "matmul", shape, 5e6),
+                ("avx2", "matmul", shape, 3.2e6),
+            ],
+        );
+        let cmp = compare_runs(&base, &regressed);
+        assert!(
+            cmp.regressions.iter().any(|r| r.contains("avx2 vs scalar")),
+            "{:?}",
+            cmp.regressions
+        );
+    }
+
+    #[test]
+    fn trend_html_lists_every_run_and_kernel_series() {
+        let runs = vec![
+            run_with("scalar", &[("scalar", "matmul", "192x192x192", 2e6)]),
+            run_with("auto", &[("scalar", "matmul", "192x192x192", 1.9e6)]),
+        ];
+        let html = render_trend_html(&runs);
+        assert!(html.starts_with("<!doctype html>"));
+        assert!(html.contains("2 runs"), "{html}");
+        assert!(html.contains("scalar matmul @ 192x192x192"), "{html}");
+        assert!(html.contains("<polyline"), "sparkline rendered");
+        assert!(html.contains("#1 commit=abc1234"), "{html}");
+        assert!(html.contains("#2 commit=abc1234"), "{html}");
+        let empty = render_trend_html(&[]);
+        assert!(empty.contains("no kernel rows recorded"));
+    }
+}

@@ -10,7 +10,11 @@
 //! Environment:
 //! - `CAP_AUTOTUNE=off` disables persistence (in-memory only);
 //! - `CAP_AUTOTUNE=<path>` uses that file;
-//! - unset defaults to `cap-autotune.json` in the working directory.
+//! - unset defaults to `results/cap-autotune.json` (directories are
+//!   created on first write). A legacy `cap-autotune.json` in the
+//!   working directory — the pre-PR-8 default — is still *read* when
+//!   the default path does not exist yet, so old caches keep working;
+//!   writes go to the new location.
 //!
 //! The loader is deliberately paranoid: a hostile, truncated or
 //! garbage cache file is *ignored* (counted in telemetry), never a
@@ -42,25 +46,35 @@ struct State {
     path: Option<PathBuf>,
 }
 
+/// Default cache location when `CAP_AUTOTUNE` is unset.
+const DEFAULT_PATH: &str = "results/cap-autotune.json";
+
+/// Pre-PR-8 default, still honoured as a read-only fallback.
+const LEGACY_PATH: &str = "cap-autotune.json";
+
 fn state() -> &'static Mutex<State> {
     static STATE: OnceLock<Mutex<State>> = OnceLock::new();
     STATE.get_or_init(|| {
         let path = configured_path();
+        let defaulted = std::env::var_os("CAP_AUTOTUNE").is_none();
         let mut entries = BTreeMap::new();
         if let Some(p) = &path {
-            match std::fs::read_to_string(p) {
-                Ok(text) => {
-                    entries = parse_cache(&text);
-                    if cap_obs::enabled() {
-                        cap_obs::counter_add(
-                            "tensor.gemm.autotune.loaded_total",
-                            entries.len() as u64,
-                        );
-                    }
+            // Missing file is the normal first-run case; any read
+            // error just means we start empty. When running on the
+            // default path, an old root-level cache is read once so
+            // upgrades don't re-tune (writes go to the new path).
+            let text = std::fs::read_to_string(p).or_else(|e| {
+                if defaulted {
+                    std::fs::read_to_string(LEGACY_PATH)
+                } else {
+                    Err(e)
                 }
-                // Missing file is the normal first-run case; any read
-                // error just means we start empty.
-                Err(_) => {}
+            });
+            if let Ok(text) = text {
+                entries = parse_cache(&text);
+                if cap_obs::enabled() {
+                    cap_obs::counter_add("tensor.gemm.autotune.loaded_total", entries.len() as u64);
+                }
             }
         }
         Mutex::new(State { entries, path })
@@ -86,7 +100,7 @@ fn configured_path() -> Option<PathBuf> {
                 Some(PathBuf::from(v))
             }
         }
-        Err(_) => Some(PathBuf::from("cap-autotune.json")),
+        Err(_) => Some(PathBuf::from(DEFAULT_PATH)),
     }
 }
 
@@ -118,6 +132,13 @@ pub(crate) fn record(key: &str, config: Config, ns_per_iter: f64) {
         return;
     };
     let body = render_cache(&st.entries);
+    // The default path lives under results/; create the directory so a
+    // fresh checkout's first tuned run can persist.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
     if cap_obs::fsx::atomic_write(&path, body.as_bytes()).is_err() && cap_obs::enabled() {
         cap_obs::counter_add("tensor.gemm.autotune.write_errors_total", 1);
     }

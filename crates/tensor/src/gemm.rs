@@ -178,7 +178,15 @@ fn direct_scalar(n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f3
 }
 
 /// Packed blocked path with the given configuration.
-fn packed(m: usize, n: usize, k: usize, a: MatRef<'_>, b: MatRef<'_>, out: &mut [f32], cfg: Config) {
+fn packed(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+    cfg: Config,
+) {
     count_kernel(match cfg.micro {
         Micro::Scalar4x8 => "tensor.gemm.kernel.scalar_4x8_total",
         Micro::Avx2_8x8 => "tensor.gemm.kernel.avx2_8x8_total",
@@ -321,6 +329,7 @@ fn compute_row_block(
 /// autotune cache. All candidates are AVX2+FMA configurations, so
 /// every run produces identical bits and tuning is invisible in the
 /// output.
+#[allow(clippy::too_many_arguments)] // GEMM operand set + tuning key
 fn tune(
     m: usize,
     n: usize,
@@ -393,7 +402,11 @@ fn pack_b(b: MatRef<'_>, pc: usize, kc: usize, jc: usize, nc: usize, nr: usize, 
         for p in 0..kc {
             let d = &mut dst[p * nr..p * nr + nr];
             for (c, slot) in d.iter_mut().enumerate() {
-                *slot = if c < live { b.at(pc + p, jc + jr + c) } else { 0.0 };
+                *slot = if c < live {
+                    b.at(pc + p, jc + jr + c)
+                } else {
+                    0.0
+                };
             }
         }
     }
@@ -613,7 +626,9 @@ mod tests {
         ] {
             let got = run_packed(m, n, k, &a, &b, cfg);
             assert!(
-                got.iter().zip(base.iter()).all(|(x, y)| x.to_bits() == y.to_bits()),
+                got.iter()
+                    .zip(base.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
                 "bits differ for {}",
                 cfg.describe()
             );

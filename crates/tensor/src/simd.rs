@@ -226,7 +226,9 @@ pub(crate) fn micro_16x4_avx2(kc: usize, pa: &[f32], pb: &[f32], acc: &mut [f32;
 // SAFETY: callers must guarantee AVX2+FMA support, `pa` valid for
 // `kc*16` reads, `pb` for `kc*4` reads, and `acc` for 64 writes.
 unsafe fn micro_16x4_avx2_impl(kc: usize, pa: *const f32, pb: *const f32, acc: *mut f32) {
-    use std::arch::x86_64::{_mm_fmadd_ps, _mm_loadu_ps, _mm_set1_ps, _mm_setzero_ps, _mm_storeu_ps};
+    use std::arch::x86_64::{
+        _mm_fmadd_ps, _mm_loadu_ps, _mm_set1_ps, _mm_setzero_ps, _mm_storeu_ps,
+    };
     // SAFETY: intrinsics below only touch pa[0..kc*16], pb[0..kc*4] and
     // acc[0..64], all within the caller-guaranteed bounds.
     unsafe {

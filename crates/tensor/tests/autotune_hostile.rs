@@ -9,7 +9,8 @@ use cap_tensor::Tensor;
 
 #[test]
 fn garbage_autotune_cache_is_ignored() {
-    let path = std::env::temp_dir().join(format!("cap-autotune-hostile-{}.json", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("cap-autotune-hostile-{}.json", std::process::id()));
     // A mix of invalid JSON framing and adversarial-but-parseable
     // content (huge blocking values would blow up pack buffers if
     // trusted).

@@ -15,6 +15,20 @@
 //! capctl dash <run-dir> --export <file.html>
 //!                                     render the run's history dashboard to a
 //!                                     self-contained HTML file
+//! capctl flame <run-dir|file.folded> [--export <file.svg>]
+//!                                     render a sampled profile (capprof's
+//!                                     profile.folded) as a flamegraph SVG
+//! capctl flame --diff <A> <B> [--export <file.svg>]
+//!                                     differential flamegraph: B relative to A
+//! capctl bench trend [--history <file.jsonl>] [--export <file.html>]
+//!                                     render per-kernel GFLOP/s trends across
+//!                                     recorded bench_baseline runs
+//! capctl bench compare <A> <B> [--history <file.jsonl>]
+//!                                     compare two recorded runs (selectors:
+//!                                     1-based index, negative-from-end, or a
+//!                                     commit prefix); within-run interleaved
+//!                                     regressions exit 9, cross-run absolute
+//!                                     deltas are advisory only
 //! ```
 //!
 //! All commands accept `[--trace <spec>] [--serve-metrics <addr>]`
@@ -47,6 +61,7 @@
 //! | 6    | dataset failure                                 |
 //! | 7    | telemetry initialisation failure                |
 //! | 8    | training failure (incl. numeric faults)         |
+//! | 9    | benchmark regression (`bench compare`)          |
 
 use cap_core::{analyze_network, ClassAwarePruner, PruneConfig, PruneError, PruneStrategy};
 use cap_data::{DataError, DatasetSpec, SyntheticDataset};
@@ -90,6 +105,9 @@ enum CtlError {
         context: String,
         source: NnError,
     },
+    Regression {
+        summary: String,
+    },
 }
 
 impl CtlError {
@@ -102,6 +120,7 @@ impl CtlError {
             CtlError::Data { .. } => 6,
             CtlError::Telemetry { .. } => 7,
             CtlError::Train { .. } => 8,
+            CtlError::Regression { .. } => 9,
         }
     }
 }
@@ -117,6 +136,7 @@ impl fmt::Display for CtlError {
             CtlError::Data { context, .. } => write!(f, "{context}"),
             CtlError::Telemetry { reason } => write!(f, "telemetry: {reason}"),
             CtlError::Train { context, .. } => write!(f, "{context}"),
+            CtlError::Regression { summary } => write!(f, "{summary}"),
         }
     }
 }
@@ -124,7 +144,7 @@ impl fmt::Display for CtlError {
 impl Error for CtlError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CtlError::Usage(_) | CtlError::Telemetry { .. } => None,
+            CtlError::Usage(_) | CtlError::Telemetry { .. } | CtlError::Regression { .. } => None,
             CtlError::Io { source, .. } => Some(source),
             CtlError::Checkpoint { source, .. } => Some(source),
             CtlError::RunDir { source, .. } => Some(source),
@@ -142,7 +162,11 @@ const USAGE: &str = "usage: capctl [--trace <spec>] [--serve-metrics <addr>] <co
        prune --run-dir <dir> [--resume] [--iters N] [--seed S] [--out <file>] [--csv <file>]\n\
              [--fault-policy abort|skip:N|restore:N]\n\
        tail <run-dir>\n\
-       dash <run-dir> --export <file.html>";
+       dash <run-dir> --export <file.html>\n\
+       flame <run-dir|file.folded> [--export <file.svg>]\n\
+       flame --diff <A> <B> [--export <file.svg>]\n\
+       bench trend [--history <file.jsonl>] [--export <file.html>]\n\
+       bench compare <A> <B> [--history <file.jsonl>]";
 
 fn usage_err(detail: impl Into<String>) -> CtlError {
     let detail = detail.into();
@@ -530,6 +554,158 @@ fn cmd_dash(args: &[String]) -> Result<(), CtlError> {
     Ok(())
 }
 
+/// Reads a folded-stack profile. A directory argument resolves to the
+/// `profile.folded` capprof writes into every run dir.
+fn read_folded(arg: &str) -> Result<Vec<(String, u64)>, CtlError> {
+    let mut path = std::path::PathBuf::from(arg);
+    if path.is_dir() {
+        path.push("profile.folded");
+    }
+    let text = std::fs::read_to_string(&path).map_err(|source| CtlError::Io {
+        context: format!("read {}", path.display()),
+        source,
+    })?;
+    Ok(cap_obs::flame::parse_folded(&text))
+}
+
+/// `capctl flame <target> [--export f]` or
+/// `capctl flame --diff <A> <B> [--export f]`: renders a sampled
+/// profile (or the difference between two) as a self-contained SVG.
+fn cmd_flame(args: &[String]) -> Result<(), CtlError> {
+    let mut diff = false;
+    let mut export: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--diff" => diff = true,
+            "--export" => {
+                export = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage_err("--export requires a file"))?,
+                );
+            }
+            other if !other.starts_with("--") => targets.push(other.to_string()),
+            other => return Err(usage_err(format!("unknown flame argument {other:?}"))),
+        }
+    }
+    let (svg, default_export) = if diff {
+        if targets.len() != 2 {
+            return Err(usage_err("flame --diff requires exactly two profiles"));
+        }
+        let base = read_folded(&targets[0])?;
+        let new = read_folded(&targets[1])?;
+        let title = format!("diff: {} vs {}", targets[0], targets[1]);
+        (
+            cap_obs::flame::render_diff_svg(&base, &new, &title),
+            "flame-diff.svg",
+        )
+    } else {
+        if targets.len() != 1 {
+            return Err(usage_err("flame requires one run dir or .folded file"));
+        }
+        let stacks = read_folded(&targets[0])?;
+        (
+            cap_obs::flame::render_svg(&stacks, &targets[0]),
+            "flame.svg",
+        )
+    };
+    let export = export.unwrap_or_else(|| default_export.to_string());
+    cap_obs::fsx::atomic_write(std::path::Path::new(&export), svg.as_bytes()).map_err(
+        |source| CtlError::Io {
+            context: format!("write {export}"),
+            source,
+        },
+    )?;
+    println!("flamegraph written to {export}");
+    Ok(())
+}
+
+/// `capctl bench trend|compare`: the cross-run perf-trend observatory
+/// over `results/bench_history.jsonl` (see cap-obs `trend`).
+fn cmd_bench(args: &[String]) -> Result<(), CtlError> {
+    let sub = args.first().map(String::as_str);
+    let mut history = cap_obs::trend::DEFAULT_HISTORY_PATH.to_string();
+    let mut export: Option<String> = None;
+    let mut selectors: Vec<String> = Vec::new();
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--history" => {
+                history = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| usage_err("--history requires a file"))?;
+            }
+            "--export" => {
+                export = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| usage_err("--export requires a file"))?,
+                );
+            }
+            // Selectors like "-1" (last run) must stay positional, so
+            // only "--"-prefixed tokens are treated as flags.
+            other if !other.starts_with("--") => selectors.push(other.to_string()),
+            other => return Err(usage_err(format!("unknown bench argument {other:?}"))),
+        }
+    }
+    let runs = cap_obs::trend::load_history(std::path::Path::new(&history));
+    match sub {
+        Some("trend") => {
+            if !selectors.is_empty() {
+                return Err(usage_err("bench trend takes no positional arguments"));
+            }
+            let export = export.unwrap_or_else(|| "trend.html".to_string());
+            let html = cap_obs::trend::render_trend_html(&runs);
+            cap_obs::fsx::atomic_write(std::path::Path::new(&export), html.as_bytes()).map_err(
+                |source| CtlError::Io {
+                    context: format!("write {export}"),
+                    source,
+                },
+            )?;
+            println!(
+                "trend over {} runs from {history} written to {export}",
+                runs.len()
+            );
+            Ok(())
+        }
+        Some("compare") => {
+            if selectors.len() != 2 {
+                return Err(usage_err("bench compare requires two run selectors"));
+            }
+            let pick = |sel: &str| {
+                cap_obs::trend::select(&runs, sel)
+                    .map_err(|e| usage_err(format!("bad selector {sel:?}: {e}")))
+            };
+            let (ia, a) = pick(&selectors[0])?;
+            let (ib, b) = pick(&selectors[1])?;
+            println!("baseline  {}", a.describe(ia));
+            println!("candidate {}", b.describe(ib));
+            let cmp = cap_obs::trend::compare_runs(a, b);
+            for note in &cmp.advisories {
+                println!("advisory: {note}");
+            }
+            if cmp.regressions.is_empty() {
+                println!("no within-run interleaved regressions");
+                Ok(())
+            } else {
+                for r in &cmp.regressions {
+                    eprintln!("regression: {r}");
+                }
+                Err(CtlError::Regression {
+                    summary: format!(
+                        "{} within-run interleaved regression(s)",
+                        cmp.regressions.len()
+                    ),
+                })
+            }
+        }
+        _ => Err(usage_err("bench requires a subcommand: trend | compare")),
+    }
+}
+
 fn run() -> Result<(), CtlError> {
     let mut args: Vec<String> = std::env::args().collect();
     init_trace(&mut args)?;
@@ -581,6 +757,8 @@ fn run() -> Result<(), CtlError> {
             cmd_tail(dir)
         }
         Some("dash") => cmd_dash(&args[2..]),
+        Some("flame") => cmd_flame(&args[2..]),
+        Some("bench") => cmd_bench(&args[2..]),
         _ => Err(usage_err("")),
     }
 }
