@@ -22,6 +22,7 @@ mod experiments;
 mod render;
 mod scale;
 mod setup;
+pub mod specs;
 mod trace;
 
 pub use experiments::{

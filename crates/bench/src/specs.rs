@@ -1,0 +1,279 @@
+//! Fleet-ready enumeration of the `exp_suite` grid.
+//!
+//! `exp_suite` runs the paper's whole evaluation serially in one
+//! process; the fleet runner (`capfleet`) instead wants the same grid
+//! as independent, individually-runnable work items. [`suite_specs`]
+//! flattens the suite into deduplicated [`SuiteSpec`]s with stable ids
+//! (the rows `exp_suite` reuses across tables appear once), and
+//! [`run_spec`] executes a single spec end-to-end — through the
+//! crash-safe `RunDir` + `resume` path for the class-aware pipeline,
+//! so a fleet worker rescheduled mid-run replays bit-identically.
+
+use crate::{build_dataset, pretrain_cached, Arch, DataKind, ExperimentScale};
+use cap_baselines::{run_baseline, standard_criteria, BaselineConfig};
+use cap_core::{ClassAwarePruner, PruneConfig, PruneStrategy, ScoreConfig};
+use cap_nn::{RegularizerConfig, RunDir, TrainConfig};
+use std::path::Path;
+
+/// One runnable cell of the experiment grid.
+#[derive(Debug, Clone)]
+pub struct SuiteSpec {
+    /// Stable, filesystem-safe unique id (doubles as the fleet spec id
+    /// and run-directory name).
+    pub id: String,
+    /// Model architecture.
+    pub arch: Arch,
+    /// Dataset stand-in.
+    pub data: DataKind,
+    /// Pruning strategy (ignored for baseline-criterion specs, which
+    /// use the shared Fig. 6 schedule).
+    pub strategy: PruneStrategy,
+    /// Regulariser used for pre-training and fine-tuning.
+    pub regularizer: RegularizerConfig,
+    /// `None` runs the class-aware pipeline; `Some(name)` runs the
+    /// named baseline criterion from [`standard_criteria`].
+    pub criterion: Option<String>,
+}
+
+/// What one spec produced, whichever path executed it.
+#[derive(Debug, Clone, Copy)]
+pub struct SpecOutcome {
+    /// Accuracy of the pre-trained (unpruned) model.
+    pub baseline_accuracy: f64,
+    /// Accuracy after pruning + fine-tuning.
+    pub final_accuracy: f64,
+    /// Fraction of filters removed.
+    pub pruning_ratio: f64,
+    /// Fraction of FLOPs removed.
+    pub flops_reduction: f64,
+}
+
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+/// The `exp_suite` grid as independent specs, deduplicated the same
+/// way the suite reuses runs: the four paper pipelines appear once
+/// (Table I, reused by Tables II/III and Figs. 4/6/7), plus the
+/// Table II strategy ablation, the Table III regulariser ablation, and
+/// the Fig. 6 baseline criteria.
+pub fn suite_specs() -> Vec<SuiteSpec> {
+    let mut specs = Vec::new();
+    // Table I: the four paper-regularised pipelines.
+    for (arch, data) in [
+        (Arch::Vgg16, DataKind::C10),
+        (Arch::Vgg19, DataKind::C100),
+        (Arch::ResNet56, DataKind::C10),
+        (Arch::ResNet56, DataKind::C100),
+    ] {
+        specs.push(SuiteSpec {
+            id: format!("t1-{}-{}", slug(arch.name()), slug(data.name())),
+            arch,
+            data,
+            strategy: PruneStrategy::paper_combined(data.classes()),
+            regularizer: RegularizerConfig::paper(),
+            criterion: None,
+        });
+    }
+    // Table II: extra strategies on ResNet56-C10 (combined row = t1).
+    for strategy in [
+        PruneStrategy::Percentage { fraction: 0.10 },
+        PruneStrategy::Threshold {
+            threshold: cap_core::threshold_for_classes(10),
+        },
+    ] {
+        specs.push(SuiteSpec {
+            id: format!("t2-resnet56-cifar10-{}", slug(strategy.label())),
+            arch: Arch::ResNet56,
+            data: DataKind::C10,
+            strategy,
+            regularizer: RegularizerConfig::paper(),
+            criterion: None,
+        });
+    }
+    // Table III: regulariser ablation (paper rows = t1).
+    for arch in [Arch::Vgg16, Arch::ResNet56] {
+        for reg in [
+            RegularizerConfig::none(),
+            RegularizerConfig::l1_only(),
+            RegularizerConfig::orth_only(),
+        ] {
+            specs.push(SuiteSpec {
+                id: format!("t3-{}-cifar10-{}", slug(arch.name()), slug(reg.label())),
+                arch,
+                data: DataKind::C10,
+                strategy: PruneStrategy::paper_combined(10),
+                regularizer: reg,
+                criterion: None,
+            });
+        }
+    }
+    // Fig. 6: baseline criteria on the VGG16-C10 pre-trained model.
+    for criterion in standard_criteria() {
+        specs.push(SuiteSpec {
+            id: format!("fig6-{}", slug(criterion.name())),
+            arch: Arch::Vgg16,
+            data: DataKind::C10,
+            strategy: PruneStrategy::paper_combined(10),
+            regularizer: RegularizerConfig::paper(),
+            criterion: Some(criterion.name().to_string()),
+        });
+    }
+    specs
+}
+
+/// Looks a spec up by id.
+pub fn find_spec(id: &str) -> Option<SuiteSpec> {
+    suite_specs().into_iter().find(|s| s.id == id)
+}
+
+fn finetune_cfg(scale: &ExperimentScale, reg: RegularizerConfig) -> TrainConfig {
+    TrainConfig {
+        epochs: scale.finetune_epochs,
+        batch_size: scale.batch_size,
+        lr: 0.01,
+        momentum: 0.9,
+        weight_decay: 5e-4,
+        lr_decay: 0.97,
+        regularizer: reg,
+        shuffle_seed: scale.seed,
+        fault_policy: cap_nn::FaultPolicy::Abort,
+    }
+}
+
+/// Executes one spec end-to-end at `scale`, pre-training through the
+/// shared on-disk `cache` (so fleet workers share pre-trained weights
+/// exactly like the serial suite).
+///
+/// For class-aware specs with `run_dir`: a directory without a journal
+/// starts a fresh durable run (`run_with_dir`); a directory holding a
+/// journal resumes it (`ClassAwarePruner::resume`), replaying completed
+/// iterations bit-identically. Baseline-criterion specs are not
+/// journaled — they rerun from scratch, which the determinism contract
+/// makes equivalent.
+///
+/// # Errors
+///
+/// Propagates dataset/pre-train/prune errors as strings (the fleet
+/// worker's exit boundary).
+pub fn run_spec(
+    spec: &SuiteSpec,
+    scale: &ExperimentScale,
+    cache: &Path,
+    run_dir: Option<&Path>,
+) -> Result<SpecOutcome, String> {
+    let data = build_dataset(spec.data, scale).map_err(|e| format!("dataset: {e}"))?;
+    let mut prepared = pretrain_cached(spec.arch, spec.data, &data, scale, spec.regularizer, cache)
+        .map_err(|e| format!("pretrain: {e}"))?;
+    let baseline_accuracy = prepared.baseline_accuracy;
+    if let Some(name) = &spec.criterion {
+        let mut criterion = standard_criteria()
+            .into_iter()
+            .find(|c| c.name() == name.as_str())
+            .ok_or_else(|| format!("unknown baseline criterion {name:?}"))?;
+        let schedule = BaselineConfig {
+            fraction_per_iter: 0.10,
+            iterations: scale.max_iterations.min(6),
+            finetune: finetune_cfg(scale, RegularizerConfig::none()),
+            eval_batch: scale.batch_size,
+            seed: scale.seed,
+        };
+        let outcome = run_baseline(
+            criterion.as_mut(),
+            &mut prepared.net,
+            data.train(),
+            data.test(),
+            &schedule,
+        )
+        .map_err(|e| format!("baseline {name}: {e}"))?;
+        return Ok(SpecOutcome {
+            baseline_accuracy,
+            final_accuracy: outcome.final_accuracy,
+            pruning_ratio: outcome.pruning_ratio(),
+            flops_reduction: outcome.flops_reduction(),
+        });
+    }
+    let pruner = ClassAwarePruner::new(PruneConfig {
+        score: ScoreConfig {
+            images_per_class: scale.images_per_class,
+            tau: scale.tau,
+            ..ScoreConfig::default()
+        },
+        strategy: spec.strategy,
+        finetune: finetune_cfg(scale, spec.regularizer),
+        max_iterations: scale.max_iterations,
+        accuracy_drop_limit: scale.accuracy_drop_limit,
+        eval_batch: scale.batch_size,
+    })
+    .map_err(|e| format!("config: {e}"))?;
+    let outcome = match run_dir {
+        Some(dir) if dir.join("journal.jsonl").exists() => {
+            let dir = RunDir::open(dir).map_err(|e| format!("open run dir: {e}"))?;
+            let (_, outcome) = pruner
+                .resume(data.train(), data.test(), &dir)
+                .map_err(|e| format!("resume: {e}"))?;
+            outcome
+        }
+        Some(dir) => {
+            let dir = RunDir::create(dir).map_err(|e| format!("create run dir: {e}"))?;
+            pruner
+                .run_with_dir(&mut prepared.net, data.train(), data.test(), &dir)
+                .map_err(|e| format!("prune: {e}"))?
+        }
+        None => pruner
+            .run(&mut prepared.net, data.train(), data.test())
+            .map_err(|e| format!("prune: {e}"))?,
+    };
+    Ok(SpecOutcome {
+        baseline_accuracy,
+        final_accuracy: outcome.final_accuracy,
+        pruning_ratio: outcome.pruning_ratio(),
+        flops_reduction: outcome.flops_reduction(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_are_unique_stable_and_filesystem_safe() {
+        let specs = suite_specs();
+        assert!(specs.len() >= 12, "grid too small: {}", specs.len());
+        let ids: BTreeSet<&str> = specs.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids.len(), specs.len(), "duplicate spec ids");
+        for id in &ids {
+            assert!(
+                id.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "unsafe id {id:?}"
+            );
+        }
+        // Stable anchors other tooling (CI, docs) may reference.
+        assert!(ids.contains("t1-vgg16-cifar10"), "{ids:?}");
+        assert!(ids.contains("t2-resnet56-cifar10-percentage"), "{ids:?}");
+        assert!(ids.contains("fig6-l1"), "{ids:?}");
+        // Enumeration is deterministic.
+        let again: Vec<String> = suite_specs().into_iter().map(|s| s.id).collect();
+        let first: Vec<String> = specs.into_iter().map(|s| s.id).collect();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn find_spec_round_trips_every_id() {
+        for spec in suite_specs() {
+            let found = find_spec(&spec.id).expect("id must round-trip");
+            assert_eq!(found.criterion, spec.criterion);
+        }
+        assert!(find_spec("no-such-spec").is_none());
+    }
+}

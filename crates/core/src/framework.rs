@@ -543,6 +543,7 @@ impl ClassAwarePruner {
                 dir.append_journal(&iter_line(&record))
                     .map_err(persist_err)?;
                 cap_faults::maybe_crash_after_iter(iteration as u64);
+                cap_faults::maybe_wedge_after_iter(iteration as u64);
             }
             iterations.push(record);
             if baseline_accuracy - accuracy_after_finetune > cfg.accuracy_drop_limit {

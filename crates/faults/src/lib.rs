@@ -24,6 +24,12 @@
 //!                             (per fit() call, steps count from 1)
 //! panic_worker=3              panic inside the 3rd pooled task executed
 //!                             in this process (one-shot)
+//! wedge_after_iter=2          park the calling thread forever right
+//!                             after pruning iteration 2 is journaled
+//!                             (simulates a wedged worker: the process
+//!                             stays alive but makes no progress)
+//! exit_at_start=17            exit(17) at the first armed-fault check
+//!                             (simulates a persistently failing run)
 //! ```
 //!
 //! Directives compose: `CAP_FAULT=corrupt_ckpt=bitflip:7,crash_after_iter=2`.
@@ -56,6 +62,16 @@ pub struct FaultSpec {
     /// `panic_worker=N`: panic inside the `N`-th pooled task executed
     /// in this process. One-shot.
     pub panic_worker: Option<u64>,
+    /// `wedge_after_iter=N`: park the calling thread forever right
+    /// after pruning iteration `N` is durably recorded. The process
+    /// stays alive (heartbeats stop, exit never comes) — the signature
+    /// of a wedged worker a supervisor must detect and SIGKILL.
+    pub wedge_after_iter: Option<u64>,
+    /// `exit_at_start=CODE`: exit the process with `CODE` at the first
+    /// armed-fault check. Unlike the iteration-anchored faults this
+    /// fires on *every* attempt, simulating a persistently failing run
+    /// for retry-budget/poisoning tests.
+    pub exit_at_start: Option<u64>,
 }
 
 impl FaultSpec {
@@ -94,6 +110,16 @@ pub fn parse(spec: &str) -> Result<FaultSpec, String> {
                 out.nan_grad_at = Some(parse_u64(step, "bad step")?);
             }
             "panic_worker" => out.panic_worker = Some(parse_u64(value, "bad task index")?),
+            "wedge_after_iter" => {
+                out.wedge_after_iter = Some(parse_u64(value, "bad iteration")?);
+            }
+            "exit_at_start" => {
+                let code = parse_u64(value, "bad exit code")?;
+                if code > 255 {
+                    return Err(format!("exit_at_start code {code} exceeds 255"));
+                }
+                out.exit_at_start = Some(code);
+            }
             other => return Err(format!("unknown fault directive {other:?}")),
         }
     }
@@ -109,6 +135,8 @@ static SPEC: Mutex<FaultSpec> = Mutex::new(FaultSpec {
     corrupt_ckpt: None,
     nan_grad_at: None,
     panic_worker: None,
+    wedge_after_iter: None,
+    exit_at_start: None,
 });
 /// Pooled tasks executed so far (only counted while `panic_worker` is
 /// armed).
@@ -213,6 +241,37 @@ pub fn bitflip_position(seed: u64, len: usize) -> usize {
     (z % (len.max(1) as u64 * 8)) as usize
 }
 
+/// Wedge point: parks the calling thread forever (the process stays
+/// alive, heartbeats stop) when `wedge_after_iter=iter` is armed. Call
+/// *after* iteration `iter` has been made durable, next to
+/// [`maybe_crash_after_iter`].
+pub fn maybe_wedge_after_iter(iter: u64) {
+    if !armed() {
+        return;
+    }
+    if spec().wedge_after_iter == Some(iter) {
+        eprintln!("cap-faults: wedge_after_iter={iter} fired, parking forever");
+        loop {
+            std::thread::park();
+        }
+    }
+}
+
+/// Start-of-run exit point: terminates the process with the armed code
+/// when `exit_at_start=CODE` is set. Unlike the one-shot faults this
+/// fires on every attempt (the directive comes from the environment, so
+/// every retried process re-arms it), which is exactly what
+/// retry-budget and poisoning tests need.
+pub fn maybe_exit_at_start() {
+    if !armed() {
+        return;
+    }
+    if let Some(code) = spec().exit_at_start {
+        eprintln!("cap-faults: exit_at_start={code} fired");
+        std::process::exit(code as i32);
+    }
+}
+
 /// Whether the gradients of training step `step` (1-based) should be
 /// poisoned with NaN.
 #[inline]
@@ -254,11 +313,34 @@ mod tests {
         let s = parse("nan_grad_at=step:40,panic_worker=1").unwrap();
         assert_eq!(s.nan_grad_at, Some(40));
         assert_eq!(s.panic_worker, Some(1));
+        let s = parse("wedge_after_iter=2,exit_at_start=17").unwrap();
+        assert_eq!(s.wedge_after_iter, Some(2));
+        assert_eq!(s.exit_at_start, Some(17));
         assert_eq!(parse("").unwrap(), FaultSpec::default());
         assert!(parse("bogus").is_err());
         assert!(parse("bogus=1").is_err());
         assert!(parse("corrupt_ckpt=zap:1").is_err());
         assert!(parse("nan_grad_at=step:x").is_err());
+        assert!(parse("exit_at_start=300").is_err(), "exit codes are u8");
+        assert!(parse("wedge_after_iter=x").is_err());
+    }
+
+    #[test]
+    fn wedge_does_not_fire_on_other_iterations() {
+        let _guard = lock();
+        set_spec(Some("wedge_after_iter=5")).unwrap();
+        // Would park forever if it fired; returning at all is the pass.
+        maybe_wedge_after_iter(4);
+        maybe_wedge_after_iter(6);
+        set_spec(None).unwrap();
+        maybe_wedge_after_iter(5);
+    }
+
+    #[test]
+    fn exit_at_start_noop_when_disarmed() {
+        let _guard = lock();
+        set_spec(None).unwrap();
+        maybe_exit_at_start();
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! `capfleet` — crash-supervised experiment fleet CLI.
+//!
+//! ```text
+//! capfleet init   --fleet-dir D (--demo N | --suite [--scale S] | --specs FILE)
+//! capfleet run    --fleet-dir D [--workers N] [--retry-budget K]
+//!                 [--backoff-base-ms B] [--backoff-cap-ms C]
+//!                 [--stall-timeout-ms T] [--poll-ms P] [--metrics-addr A]
+//! capfleet resume --fleet-dir D [same flags as run]
+//! capfleet status --fleet-dir D
+//! capfleet worker --fleet-dir D --spec ID        (internal: one child run)
+//! ```
+//!
+//! Exit codes: `0` sweep drained with every spec done, `1` sweep
+//! drained but some specs were poisoned, `2` usage, `3` runtime error.
+
+use cap_fleet::queue::Queue;
+use cap_fleet::spec::Spec;
+use cap_fleet::supervisor::{render_status, run_fleet, FleetConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: capfleet <init|run|resume|status|worker> --fleet-dir DIR [flags]
+  init    --demo N | --suite [--scale smoke|small|full] | --specs FILE
+  run     [--workers N] [--retry-budget K] [--backoff-base-ms B] [--backoff-cap-ms C]
+          [--stall-timeout-ms T] [--poll-ms P] [--metrics-addr ADDR]
+  resume  same flags as run (reconciles a killed supervisor's queue first)
+  status  print queue state
+  worker  --spec ID (internal)
+";
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                // Boolean flags take no value.
+                if matches!(name, "suite") {
+                    flags.push((name.to_string(), "true".to_string()));
+                    continue;
+                }
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.push((name.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn u64_flag(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v.parse::<u64>().map_err(|e| format!("--{name} {v:?}: {e}")),
+        }
+    }
+
+    fn fleet_dir(&self) -> Result<PathBuf, String> {
+        self.flag("fleet-dir")
+            .map(PathBuf::from)
+            .ok_or_else(|| "--fleet-dir is required".to_string())
+    }
+}
+
+fn fleet_config(args: &Args) -> Result<FleetConfig, String> {
+    let defaults = FleetConfig::default();
+    Ok(FleetConfig {
+        workers: args.u64_flag("workers", defaults.workers as u64)?.max(1) as usize,
+        retry_budget: args.u64_flag("retry-budget", defaults.retry_budget)?.max(1),
+        backoff_base_ms: args.u64_flag("backoff-base-ms", defaults.backoff_base_ms)?,
+        backoff_cap_ms: args.u64_flag("backoff-cap-ms", defaults.backoff_cap_ms)?,
+        stall_timeout_ms: args.u64_flag("stall-timeout-ms", defaults.stall_timeout_ms)?,
+        poll_ms: args.u64_flag("poll-ms", defaults.poll_ms)?,
+        metrics_addr: args
+            .flag("metrics-addr")
+            .unwrap_or(&defaults.metrics_addr)
+            .to_string(),
+    })
+}
+
+/// Reads a specs file: one JSON object per line, spec-shaped (the
+/// `"type":"spec"` tag is optional). Blank lines and `#` comments skip.
+fn read_specs_file(path: &str) -> Result<Vec<Spec>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut specs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let obj = cap_obs::json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        specs.push(Spec::from_json(&obj).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?);
+    }
+    if specs.is_empty() {
+        return Err(format!("{path}: no specs"));
+    }
+    Ok(specs)
+}
+
+fn cmd_init(args: &Args) -> Result<(), String> {
+    let fleet_dir = args.fleet_dir()?;
+    let specs = if let Some(n) = args.flag("demo") {
+        let n: u64 = n.parse().map_err(|e| format!("--demo {n:?}: {e}"))?;
+        (0..n)
+            .map(|i| Spec::demo(format!("demo-{i:03}"), 100 + i))
+            .collect()
+    } else if args.flag("suite").is_some() {
+        let scale = args.flag("scale").unwrap_or("smoke").to_string();
+        if !matches!(scale.as_str(), "smoke" | "small" | "full") {
+            return Err(format!("--scale {scale:?} (want smoke|small|full)"));
+        }
+        cap_bench::specs::suite_specs()
+            .into_iter()
+            .map(|s| Spec::suite(s.id, scale.clone()))
+            .collect()
+    } else if let Some(path) = args.flag("specs") {
+        read_specs_file(path)?
+    } else {
+        return Err("init needs --demo N, --suite or --specs FILE".to_string());
+    };
+    let n = specs.len();
+    Queue::create(&fleet_dir, &specs)?;
+    println!(
+        "initialised fleet at {} with {n} spec(s); `capfleet run --fleet-dir {}` starts it",
+        fleet_dir.display(),
+        fleet_dir.display()
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<ExitCode, String> {
+    let fleet_dir = args.fleet_dir()?;
+    let cfg = fleet_config(args)?;
+    let report = run_fleet(&fleet_dir, &cfg)?;
+    println!(
+        "{} done, {} poisoned, {} restarts",
+        report.done, report.poisoned, report.restarts
+    );
+    Ok(if report.poisoned == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let fleet_dir = args.fleet_dir()?;
+    let queue = Queue::load(&fleet_dir)?;
+    print!("{}", render_status(&queue));
+    Ok(())
+}
+
+fn cmd_worker(args: &Args) -> Result<(), String> {
+    let fleet_dir = args.fleet_dir()?;
+    let spec_id = args
+        .flag("spec")
+        .ok_or_else(|| "worker needs --spec ID".to_string())?;
+    cap_fleet::worker::run_worker(&fleet_dir, spec_id)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let args = match Args::parse(&raw[1..]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("capfleet: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if !args.positional.is_empty() {
+        eprintln!("capfleet: unexpected argument {:?}", args.positional[0]);
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let result = match command.as_str() {
+        "init" => cmd_init(&args).map(|()| ExitCode::SUCCESS),
+        // `run` and `resume` share one path: run_fleet always
+        // reconciles, so resuming a SIGKILLed sweep is the same loop.
+        "run" | "resume" => cmd_run(&args),
+        "status" => cmd_status(&args).map(|()| ExitCode::SUCCESS),
+        "worker" => cmd_worker(&args).map(|()| ExitCode::SUCCESS),
+        other => {
+            eprintln!("capfleet: unknown command {other:?}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("capfleet: {e}");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Experiment specs: the unit of work a fleet executes.
+//!
+//! A [`Spec`] is either a `demo` run (the small synthetic network
+//! `capctl prune` uses, parameterised by width/strategy/seed — seconds
+//! per run, the chaos tests' workhorse) or a `suite` run referencing a
+//! cell of the `exp_suite` grid by its [`cap_bench::specs`] id.
+//!
+//! Specs serialise to single JSON lines via the `cap-obs` JSON writer
+//! and parse back leniently: unknown fields are ignored, missing
+//! optional fields default, and only a missing/empty `id` rejects the
+//! line — the queue loader must survive hostile input.
+
+use cap_core::PruneStrategy;
+use cap_obs::json::{self, Json};
+
+/// One experiment the fleet will run to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spec {
+    /// Unique, filesystem-safe id; doubles as the run-directory name.
+    pub id: String,
+    /// `"demo"` (synthetic quick run) or `"suite"` (`exp_suite` cell).
+    pub kind: String,
+    /// Demo: conv width of the synthetic network.
+    pub width: u64,
+    /// Demo: maximum pruning iterations.
+    pub iters: u64,
+    /// Demo: model/data seed.
+    pub seed: u64,
+    /// Demo: strategy string (see [`parse_strategy`]).
+    pub strategy: String,
+    /// Suite: experiment scale (`"smoke"`, `"small"`, `"full"`).
+    pub scale: String,
+    /// `CAP_FAULT` directive injected into the worker on early
+    /// attempts; empty = no injection.
+    pub fault: String,
+    /// Inject [`Spec::fault`] only while `attempt <= fault_attempts`,
+    /// so a retried run proves clean recovery.
+    pub fault_attempts: u64,
+}
+
+impl Spec {
+    /// A demo spec with the default quick-run shape.
+    pub fn demo(id: impl Into<String>, seed: u64) -> Spec {
+        Spec {
+            id: id.into(),
+            kind: "demo".to_string(),
+            width: 12,
+            iters: 2,
+            seed,
+            strategy: "percentage:0.2".to_string(),
+            scale: String::new(),
+            fault: String::new(),
+            fault_attempts: 0,
+        }
+    }
+
+    /// A suite spec referencing a [`cap_bench::specs`] id.
+    pub fn suite(id: impl Into<String>, scale: impl Into<String>) -> Spec {
+        Spec {
+            id: id.into(),
+            kind: "suite".to_string(),
+            width: 0,
+            iters: 0,
+            seed: 0,
+            strategy: String::new(),
+            scale: scale.into(),
+            fault: String::new(),
+            fault_attempts: 0,
+        }
+    }
+
+    /// Serialises the spec as one `{"type":"spec",...}` queue line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::with_capacity(160);
+        out.push_str("{\"type\":\"spec\",\"id\":");
+        json::write_str(&mut out, &self.id);
+        out.push_str(",\"kind\":");
+        json::write_str(&mut out, &self.kind);
+        out.push_str(",\"width\":");
+        out.push_str(&self.width.to_string());
+        out.push_str(",\"iters\":");
+        out.push_str(&self.iters.to_string());
+        out.push_str(",\"seed\":");
+        out.push_str(&self.seed.to_string());
+        out.push_str(",\"strategy\":");
+        json::write_str(&mut out, &self.strategy);
+        out.push_str(",\"scale\":");
+        json::write_str(&mut out, &self.scale);
+        out.push_str(",\"fault\":");
+        json::write_str(&mut out, &self.fault);
+        out.push_str(",\"fault_attempts\":");
+        out.push_str(&self.fault_attempts.to_string());
+        out.push('}');
+        out
+    }
+
+    /// Parses a spec from a queue-line JSON object. Lenient: unknown
+    /// fields are ignored, missing fields default; only a missing or
+    /// empty `id` is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when `id` is absent/empty.
+    pub fn from_json(obj: &Json) -> Result<Spec, String> {
+        let id = obj
+            .get("id")
+            .and_then(Json::as_str)
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| "spec line missing id".to_string())?;
+        let str_field = |key: &str, default: &str| {
+            obj.get(key)
+                .and_then(Json::as_str)
+                .unwrap_or(default)
+                .to_string()
+        };
+        let u64_field =
+            |key: &str, default: u64| obj.get(key).and_then(Json::as_u64).unwrap_or(default);
+        Ok(Spec {
+            id: id.to_string(),
+            kind: str_field("kind", "demo"),
+            width: u64_field("width", 12),
+            iters: u64_field("iters", 2),
+            seed: u64_field("seed", 33),
+            strategy: str_field("strategy", "percentage:0.2"),
+            scale: str_field("scale", ""),
+            fault: str_field("fault", ""),
+            fault_attempts: u64_field("fault_attempts", 0),
+        })
+    }
+}
+
+/// Parses a demo strategy string: `percentage:<f>`, `threshold:<t>` or
+/// `combined:<t>:<f>`.
+///
+/// # Errors
+///
+/// Returns a description of the malformed string.
+pub fn parse_strategy(s: &str) -> Result<PruneStrategy, String> {
+    let mut parts = s.split(':');
+    let kind = parts.next().unwrap_or("");
+    let nums: Vec<f64> = parts
+        .map(|p| {
+            p.parse::<f64>()
+                .map_err(|e| format!("bad number {p:?} in strategy {s:?}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    match (kind, nums.as_slice()) {
+        ("percentage", [fraction]) => Ok(PruneStrategy::Percentage {
+            fraction: *fraction,
+        }),
+        ("threshold", [threshold]) => Ok(PruneStrategy::Threshold {
+            threshold: *threshold,
+        }),
+        ("combined", [threshold, max_fraction]) => Ok(PruneStrategy::Combined {
+            threshold: *threshold,
+            max_fraction: *max_fraction,
+        }),
+        _ => Err(format!(
+            "bad strategy {s:?} (want percentage:<f>, threshold:<t> or combined:<t>:<f>)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_a_queue_line() {
+        let mut spec = Spec::demo("s1", 7);
+        spec.fault = "crash_after_iter=1".to_string();
+        spec.fault_attempts = 1;
+        let line = spec.to_line();
+        let parsed = Spec::from_json(&json::parse(&line).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn parse_is_lenient_but_requires_id() {
+        let parsed = Spec::from_json(
+            &json::parse(r#"{"id":"x","mystery_field":[1,2],"width":"nope"}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(parsed.id, "x");
+        assert_eq!(parsed.width, 12, "bad-typed field falls back to default");
+        assert_eq!(parsed.kind, "demo");
+        assert!(Spec::from_json(&json::parse(r#"{"type":"spec"}"#).unwrap()).is_err());
+        assert!(Spec::from_json(&json::parse(r#"{"id":""}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn strategy_strings_parse() {
+        assert!(matches!(
+            parse_strategy("percentage:0.2"),
+            Ok(PruneStrategy::Percentage { .. })
+        ));
+        assert!(matches!(
+            parse_strategy("threshold:3.0"),
+            Ok(PruneStrategy::Threshold { .. })
+        ));
+        assert!(matches!(
+            parse_strategy("combined:3.0:0.3"),
+            Ok(PruneStrategy::Combined { .. })
+        ));
+        assert!(parse_strategy("percentage").is_err());
+        assert!(parse_strategy("combined:1").is_err());
+        assert!(parse_strategy("magic:1").is_err());
+        assert!(parse_strategy("percentage:x").is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! The fleet chaos invariant, end-to-end through the real `capfleet`
+//! binary:
+//!
+//! - six specs on two workers: two clean, two that SIGABRT
+//!   mid-iteration, one that wedges (heartbeat stall → SIGKILL), one
+//!   that always dies at startup (→ poisoned);
+//! - the supervisor itself is SIGKILLed mid-sweep and `capfleet
+//!   resume` carries the sweep to completion;
+//! - every non-poisoned spec completes **exactly once** (one durable
+//!   `done` event each);
+//! - rescheduled runs resume through the journal, so their final
+//!   checkpoints are **bit-identical** to an uninterrupted reference
+//!   fleet's;
+//! - retries/backoff are observable in the federated `/metrics` and
+//!   the `/fleet` dashboard renders.
+
+use cap_fleet::queue::{Queue, SpecState};
+use cap_fleet::spec::Spec;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_capfleet");
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cap_fleet_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The chaos roster. Faulty specs first so failures happen early in
+/// the sweep (the supervisor gets SIGKILLed shortly after the first).
+fn chaos_specs() -> Vec<Spec> {
+    let mut c1 = Spec::demo("c1-crash", 41);
+    c1.fault = "crash_after_iter=1".to_string();
+    c1.fault_attempts = 1;
+    let mut c2 = Spec::demo("c2-crash", 42);
+    c2.fault = "crash_after_iter=1".to_string();
+    c2.fault_attempts = 1;
+    let mut w1 = Spec::demo("w1-wedge", 43);
+    w1.fault = "wedge_after_iter=1".to_string();
+    w1.fault_attempts = 1;
+    let mut p1 = Spec::demo("p1-poison", 44);
+    p1.fault = "exit_at_start=23".to_string();
+    p1.fault_attempts = 99; // never runs clean → exhausts the budget
+    vec![
+        c1,
+        c2,
+        w1,
+        p1,
+        Spec::demo("n1-clean", 45),
+        Spec::demo("n2-clean", 46),
+    ]
+}
+
+fn init_fleet(dir: &Path, specs: &[Spec]) {
+    Queue::create(dir, specs).unwrap();
+}
+
+fn fleet_cmd(sub: &str, dir: &Path) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        sub,
+        "--fleet-dir",
+        dir.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--poll-ms",
+        "100",
+        "--stall-timeout-ms",
+        "4000",
+        "--retry-budget",
+        "2",
+        "--backoff-base-ms",
+        "100",
+        "--backoff-cap-ms",
+        "1000",
+    ])
+    .env_remove("CAP_FAULT")
+    .stdout(Stdio::null());
+    cmd
+}
+
+fn queue_text(dir: &Path) -> String {
+    std::fs::read_to_string(Queue::path_in(dir)).unwrap_or_default()
+}
+
+fn supervisor_addr(dir: &Path) -> Option<SocketAddr> {
+    std::fs::read_to_string(dir.join("supervisor.addr"))
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn done_json(dir: &Path, id: &str) -> cap_obs::json::Json {
+    let path = dir.join("runs").join(id).join("DONE.json");
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    cap_obs::json::parse(&text).unwrap()
+}
+
+#[test]
+fn fleet_survives_chaos_and_supervisor_sigkill_with_bit_identical_reruns() {
+    let chaos_dir = tmp_dir("sweep");
+    let ref_dir = tmp_dir("reference");
+    let specs = chaos_specs();
+    init_fleet(&chaos_dir, &specs);
+
+    // Phase 1: run the chaos sweep, scrape the federated telemetry
+    // until a restart is visible, then SIGKILL the supervisor.
+    let mut supervisor = fleet_cmd("run", &chaos_dir).spawn().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(180);
+    let mut metrics_with_restart = String::new();
+    let mut fleet_html = String::new();
+    loop {
+        assert!(Instant::now() < deadline, "no worker failure within 180s");
+        if let Some(addr) = supervisor_addr(&chaos_dir) {
+            if let Ok(body) = cap_obs::serve::http_get(addr, "/metrics") {
+                let restarts = cap_obs::expo::parse_exposition(&body)
+                    .into_iter()
+                    .find(|(name, _)| name == "cap_fleet_restarts_total")
+                    .map_or(0.0, |(_, v)| v);
+                if restarts >= 1.0 {
+                    metrics_with_restart = body;
+                    fleet_html = cap_obs::serve::http_get(addr, "/fleet").unwrap_or_default();
+                }
+            }
+        }
+        // Kill only once the restart was both durably recorded and
+        // observed through /metrics — mid-sweep by construction (the
+        // wedge spec alone needs its 4s stall plus a clean rerun).
+        if !metrics_with_restart.is_empty()
+            && queue_text(&chaos_dir).contains("\"state\":\"failed\"")
+        {
+            break;
+        }
+        if supervisor.try_wait().unwrap().is_some() {
+            panic!("sweep finished before a failure was observed — chaos not exercised");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    supervisor.kill().unwrap(); // SIGKILL: no cleanup, no final queue writes
+    supervisor.wait().unwrap();
+
+    // The federated surface saw the fleet: restart counter plus
+    // per-worker federated series, and the dashboard rendered.
+    assert!(
+        metrics_with_restart.contains("cap_fleet_restarts_total"),
+        "restart counter missing from supervisor /metrics"
+    );
+    assert!(
+        metrics_with_restart.contains("cap_fleet_worker_0_up"),
+        "per-slot gauges missing from supervisor /metrics"
+    );
+    assert!(
+        fleet_html.contains("queue-stats"),
+        "/fleet dashboard did not render: {fleet_html:?}"
+    );
+
+    // Phase 2: resume reconciles the torn queue and drains the sweep.
+    // Exit 1 = drained with poisoned specs (p1 never runs clean).
+    let status = fleet_cmd("resume", &chaos_dir).status().unwrap();
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "resume exits 1 when specs were poisoned"
+    );
+
+    let queue = Queue::load(&chaos_dir).unwrap();
+    assert_eq!(
+        queue.load_report,
+        cap_fleet::queue::LoadReport::default(),
+        "resume left a contiguous, fully-parsable queue.jsonl"
+    );
+    for spec in &specs {
+        let entry = queue.get(&spec.id).unwrap();
+        if spec.id == "p1-poison" {
+            assert_eq!(entry.state, SpecState::Poisoned, "{}", spec.id);
+            assert_eq!(entry.attempts, 2, "poisoned after the full retry budget");
+        } else {
+            assert_eq!(entry.state, SpecState::Done, "{}", spec.id);
+        }
+    }
+
+    // No spec is ever executed to completion twice: exactly one
+    // durable `done` event per non-poisoned spec across run + resume.
+    let history = queue_text(&chaos_dir);
+    for spec in &specs {
+        let done_events = history
+            .lines()
+            .filter(|l| {
+                l.contains(&format!("\"id\":\"{}\"", spec.id)) && l.contains("\"state\":\"done\"")
+            })
+            .count();
+        let expected = usize::from(spec.id != "p1-poison");
+        assert_eq!(done_events, expected, "done events for {}", spec.id);
+    }
+
+    // Phase 3: the bit-identical invariant. An uninterrupted reference
+    // fleet (same specs, no fault injection) must produce byte-equal
+    // final checkpoints for every spec the chaos fleet completed.
+    let clean_specs: Vec<Spec> = specs
+        .iter()
+        .filter(|s| s.id != "p1-poison")
+        .map(|s| {
+            let mut c = s.clone();
+            c.fault = String::new();
+            c.fault_attempts = 0;
+            c
+        })
+        .collect();
+    init_fleet(&ref_dir, &clean_specs);
+    let status = fleet_cmd("run", &ref_dir).status().unwrap();
+    assert!(status.success(), "reference fleet failed: {status}");
+
+    for spec in &clean_specs {
+        let chaos_done = done_json(&chaos_dir, &spec.id);
+        let ref_done = done_json(&ref_dir, &spec.id);
+        let ckpt = chaos_done
+            .get("ckpt")
+            .and_then(|j| j.as_str().map(str::to_string));
+        let ckpt = ckpt.unwrap_or_else(|| panic!("{}: DONE.json lacks ckpt", spec.id));
+        assert_eq!(
+            ref_done.get("ckpt").and_then(|j| j.as_str()),
+            Some(ckpt.as_str()),
+            "{}: same final generation",
+            spec.id
+        );
+        assert_eq!(
+            chaos_done
+                .get("ckpt_crc")
+                .and_then(cap_obs::json::Json::as_u64),
+            ref_done
+                .get("ckpt_crc")
+                .and_then(cap_obs::json::Json::as_u64),
+            "{}: checkpoint CRC differs from uninterrupted run",
+            spec.id
+        );
+        let chaos_bytes = std::fs::read(
+            chaos_dir
+                .join("runs")
+                .join(&spec.id)
+                .join("ckpt")
+                .join(&ckpt),
+        )
+        .unwrap();
+        let ref_bytes =
+            std::fs::read(ref_dir.join("runs").join(&spec.id).join("ckpt").join(&ckpt)).unwrap();
+        assert_eq!(
+            chaos_bytes, ref_bytes,
+            "{}: rescheduled run's checkpoint is not bit-identical",
+            spec.id
+        );
+    }
+
+    // The faulted specs really were retried (attempts charged), so the
+    // bit-identical equality above covers resumed-after-crash runs.
+    for id in ["c1-crash", "c2-crash", "w1-wedge"] {
+        assert!(
+            queue.get(id).unwrap().attempts >= 2,
+            "{id} should have needed more than one attempt"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&chaos_dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}

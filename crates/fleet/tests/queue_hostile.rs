@@ -1,0 +1,132 @@
+//! Hostile `queue.jsonl` inputs: the loader must never panic, must
+//! drop exactly the torn tail, and must keep the event log contiguous
+//! across a simulated supervisor SIGKILL + resume.
+
+use cap_fleet::queue::{Queue, SpecState};
+use cap_fleet::spec::Spec;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cap_fleet_hostile_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn loader_survives_garbage_duplicates_orphans_and_a_torn_tail() {
+    let dir = tmp_dir("soup");
+    let mut hostile = String::new();
+    hostile.push_str(&Spec::demo("a", 1).to_line());
+    hostile.push('\n');
+    // Duplicate submission of "a" with different parameters: first wins.
+    let mut dup = Spec::demo("a", 99);
+    dup.width = 55;
+    hostile.push_str(&dup.to_line());
+    hostile.push('\n');
+    // Unparsable garbage and a non-object line.
+    hostile.push_str("!!! not json at all\n");
+    hostile.push_str("[1,2,3]\n");
+    // A spec with unknown fields and a wrongly-typed known field.
+    hostile.push_str(r#"{"type":"spec","id":"b","mystery":{"deep":[true]},"width":"wat"}"#);
+    hostile.push('\n');
+    // State event for a spec that was never submitted.
+    hostile.push_str(r#"{"type":"state","id":"ghost","state":"done","attempts":1}"#);
+    hostile.push('\n');
+    // An unknown state name.
+    hostile.push_str(r#"{"type":"state","id":"a","state":"ascended","attempts":9}"#);
+    hostile.push('\n');
+    // Legitimate history for "a": ran once, failed once.
+    hostile.push_str(r#"{"type":"state","id":"a","state":"running","attempts":1}"#);
+    hostile.push('\n');
+    hostile.push_str(r#"{"type":"state","id":"a","state":"failed","attempts":1}"#);
+    hostile.push('\n');
+    // Torn tail: the write the dying supervisor never finished (no
+    // trailing newline, mid-token).
+    hostile.push_str(r#"{"type":"state","id":"b","state":"do"#);
+    std::fs::write(Queue::path_in(&dir), &hostile).unwrap();
+
+    let queue = Queue::load(&dir).unwrap();
+    // garbage + non-object + unknown state name + torn tail.
+    assert_eq!(
+        queue.load_report.dropped_lines, 4,
+        "{:?}",
+        queue.load_report
+    );
+    assert_eq!(queue.load_report.duplicate_specs, 1);
+    assert_eq!(queue.load_report.orphan_events, 1);
+
+    let a = queue.get("a").unwrap();
+    assert_eq!(a.spec.width, 12, "first submission wins over the duplicate");
+    assert_eq!(a.state, SpecState::Pending, "failed replays as pending");
+    assert_eq!(a.attempts, 1);
+    let b = queue.get("b").unwrap();
+    assert_eq!(
+        b.spec.width, 12,
+        "wrongly-typed field falls back to default"
+    );
+    assert_eq!(
+        b.state,
+        SpecState::Pending,
+        "the torn 'done' for b must not count"
+    );
+    assert_eq!(queue.counts(), (2, 0, 0, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_is_truncated_so_appends_stay_contiguous() {
+    let dir = tmp_dir("torn");
+    let mut q = Queue::create(&dir, &[Spec::demo("a", 1), Spec::demo("b", 2)]).unwrap();
+    q.mark("a", SpecState::Running, 1).unwrap();
+    drop(q);
+    // Simulate a supervisor SIGKILLed mid-append: half a line lands.
+    let path = Queue::path_in(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(br#"{"type":"state","id":"a","state":"don"#);
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Resume: load drops AND truncates the torn tail, then appends new
+    // history. A second reload must parse every line cleanly.
+    let mut q = Queue::load(&dir).unwrap();
+    assert_eq!(q.load_report.dropped_lines, 1);
+    assert_eq!(q.get("a").unwrap().state, SpecState::Running);
+    q.mark("a", SpecState::Done, 1).unwrap();
+    q.mark("b", SpecState::Running, 1).unwrap();
+    drop(q);
+
+    let q = Queue::load(&dir).unwrap();
+    assert_eq!(
+        q.load_report.dropped_lines, 0,
+        "no residue of the torn write may survive the resume"
+    );
+    assert_eq!(q.get("a").unwrap().state, SpecState::Done);
+    assert_eq!(q.get("b").unwrap().state, SpecState::Running);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_and_whitespace_only_files_load_as_empty_queues() {
+    let dir = tmp_dir("empty");
+    std::fs::write(Queue::path_in(&dir), "").unwrap();
+    let q = Queue::load(&dir).unwrap();
+    assert_eq!(q.counts(), (0, 0, 0, 0));
+    assert!(q.drained(), "an empty queue is trivially drained");
+    assert_eq!(q.load_report.dropped_lines, 0);
+
+    std::fs::write(Queue::path_in(&dir), "\n\n\n").unwrap();
+    let q = Queue::load(&dir).unwrap();
+    assert_eq!(q.counts(), (0, 0, 0, 0));
+    assert_eq!(q.load_report.dropped_lines, 0, "blank lines are not errors");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_queue_file_is_an_error_not_a_panic() {
+    let dir = tmp_dir("missing");
+    let Err(err) = Queue::load(&dir) else {
+        panic!("loading a nonexistent queue must fail");
+    };
+    assert!(err.contains("queue.jsonl"), "error names the file: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,6 +17,7 @@ struct Opts {
     allow: Option<PathBuf>,
     json: bool,
     list_rules: bool,
+    fix: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -25,6 +26,7 @@ fn parse_args() -> Result<Opts, String> {
         allow: None,
         json: false,
         list_rules: false,
+        fix: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -37,12 +39,16 @@ fn parse_args() -> Result<Opts, String> {
             }
             "--json" => opts.json = true,
             "--list-rules" => opts.list_rules = true,
+            "--fix" => opts.fix = true,
             "--help" | "-h" => {
                 println!(
-                    "caplint [--root DIR] [--allow FILE] [--json] [--list-rules]\n\n\
+                    "caplint [--root DIR] [--allow FILE] [--json] [--list-rules] [--fix]\n\n\
                      Checks every Rust source and Cargo.toml under DIR (default .)\n\
                      against rules R001-R007; see --list-rules. The baseline defaults\n\
                      to DIR/caplint.allow when present.\n\n\
+                     --fix rewrites R003 (HashMap/HashSet -> BTreeMap/BTreeSet) and\n\
+                     R004 (Instant::now -> cap_obs::clock::now) in place, then runs\n\
+                     the normal check to verify; the rewrite is idempotent.\n\n\
                      Exit codes: 0 clean, 1 violations, 2 stale baseline, 3 usage/IO error."
                 );
                 std::process::exit(0);
@@ -58,6 +64,13 @@ fn run() -> Result<i32, String> {
     if opts.list_rules {
         print!("{}", cap_lint::render_rule_list());
         return Ok(0);
+    }
+    if opts.fix {
+        let report = cap_lint::fix::fix_workspace(&opts.root)?;
+        eprintln!(
+            "caplint --fix: {} replacement(s) in {} file(s); re-checking",
+            report.replacements, report.files_changed
+        );
     }
     let allow_path = opts.allow.clone().or_else(|| {
         let default = opts.root.join("caplint.allow");

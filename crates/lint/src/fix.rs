@@ -1,0 +1,248 @@
+//! `caplint --fix`: mechanical rewrites for the two rules with a
+//! drop-in replacement.
+//!
+//! - **R003** — `HashMap` → `BTreeMap`, `HashSet` → `BTreeSet`
+//!   (word-bounded, so `FxHashMap` or `HashMapLike` are untouched).
+//! - **R004** — `Instant::now` (with any `std::time::` / `time::`
+//!   qualification) → `cap_obs::clock::now`. `SystemTime::now` has no
+//!   drop-in replacement returning an `Instant`, so it is reported but
+//!   never rewritten.
+//!
+//! Rewrites reuse the scanner's masking, so comments, string literals,
+//! and `#[cfg(test)]` regions are never touched, and the fixer edits
+//! exactly the spans the scanner would flag. The fixer is idempotent:
+//! its replacements contain no `HashMap`/`HashSet`/`Instant::now`
+//! tokens, so a second pass finds nothing — `--fix` runs the normal
+//! check afterwards to prove it.
+
+use crate::lexer::{find_word, mask};
+use crate::walk;
+use std::path::Path;
+
+/// What one `--fix` pass changed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FixReport {
+    /// Files rewritten on disk.
+    pub files_changed: usize,
+    /// Individual token replacements applied.
+    pub replacements: usize,
+}
+
+/// One pending rewrite on a line: char span `start..end` → `with`.
+struct Splice {
+    start: usize,
+    end: usize,
+    with: &'static str,
+}
+
+/// Qualification prefixes folded into an `Instant::now` rewrite, so
+/// `std::time::Instant::now()` becomes `cap_obs::clock::now()` rather
+/// than `std::time::cap_obs::clock::now()`.
+const INSTANT_PREFIXES: &[&str] = &["std::time::", "time::", "::"];
+
+/// Collects R003 word-bounded replacements on one masked line.
+fn r003_splices(masked_line: &str, out: &mut Vec<Splice>) {
+    for (needle, with) in [("HashMap", "BTreeMap"), ("HashSet", "BTreeSet")] {
+        let mut from = 0;
+        while let Some(pos) = find_word(&masked_line[from..], needle) {
+            let start = from + pos;
+            out.push(Splice {
+                start,
+                end: start + needle.len(),
+                with,
+            });
+            from = start + needle.len();
+        }
+    }
+}
+
+/// Collects R004 `Instant::now` replacements on one masked line,
+/// extending each match leftwards over a known qualification prefix.
+fn r004_splices(masked_line: &str, out: &mut Vec<Splice>) {
+    const NEEDLE: &str = "Instant::now";
+    let mut from = 0;
+    while let Some(pos) = masked_line[from..].find(NEEDLE) {
+        let mut start = from + pos;
+        let end = start + NEEDLE.len();
+        from = end;
+        // `SystemTime::now`-style hits where `Instant` is the tail of a
+        // longer identifier are not wall-clock reads of Instant.
+        if start > 0 && masked_line.as_bytes()[start - 1].is_ascii_alphanumeric() {
+            continue;
+        }
+        if start > 0 && masked_line.as_bytes()[start - 1] == b'_' {
+            continue;
+        }
+        for prefix in INSTANT_PREFIXES {
+            if masked_line[..start].ends_with(prefix) {
+                start -= prefix.len();
+                break;
+            }
+        }
+        out.push(Splice {
+            start,
+            end,
+            with: "cap_obs::clock::now",
+        });
+    }
+}
+
+/// Applies sorted, non-overlapping char-span splices to a raw line.
+/// Masking is char-per-char position preserving, so masked-line byte
+/// offsets are char offsets on the raw line.
+fn apply_splices(raw: &str, mut splices: Vec<Splice>) -> String {
+    splices.sort_by_key(|s| s.start);
+    let chars: Vec<char> = raw.chars().collect();
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0;
+    for s in &splices {
+        out.extend(chars[i..s.start.min(chars.len())].iter());
+        out.push_str(s.with);
+        i = s.end.min(chars.len());
+    }
+    out.extend(chars[i..].iter());
+    out
+}
+
+/// Rewrites one source file's R003/R004 violations. Returns the fixed
+/// text and replacement count, or `None` when nothing needed fixing.
+/// `path` must be workspace-relative — rule scoping (obs exemption for
+/// R004, test-dir exemption) is keyed on it, mirroring the scanner.
+pub fn fix_source(path: &str, src: &str) -> Option<(String, usize)> {
+    if crate::rules::is_test_path(path) {
+        return None;
+    }
+    let fix_r004 = !path.starts_with("crates/obs/src/");
+    let masked = mask(src);
+    let mut raw_lines: Vec<String> = src.split('\n').map(str::to_string).collect();
+    let mut replacements = 0;
+    for (idx, masked_line) in masked.code.iter().enumerate() {
+        if masked.test[idx] || idx >= raw_lines.len() {
+            continue;
+        }
+        let mut splices = Vec::new();
+        r003_splices(masked_line, &mut splices);
+        if fix_r004 {
+            r004_splices(masked_line, &mut splices);
+        }
+        if splices.is_empty() {
+            continue;
+        }
+        replacements += splices.len();
+        raw_lines[idx] = apply_splices(&raw_lines[idx], splices);
+    }
+    (replacements > 0).then(|| (raw_lines.join("\n"), replacements))
+}
+
+/// Applies [`fix_source`] to every Rust source under `root`, writing
+/// changed files back in place.
+///
+/// # Errors
+///
+/// Returns a formatted message when the tree cannot be walked or a
+/// file cannot be read or written.
+pub fn fix_workspace(root: &Path) -> Result<FixReport, String> {
+    let entries = walk::walk(root).map_err(|e| format!("walk {}: {e}", root.display()))?;
+    let mut report = FixReport::default();
+    for entry in &entries {
+        if entry.manifest {
+            continue;
+        }
+        let src =
+            std::fs::read_to_string(&entry.abs).map_err(|e| format!("read {}: {e}", entry.rel))?;
+        if let Some((fixed, n)) = fix_source(&entry.rel, &src) {
+            // Source edits are not durable state: a torn write is
+            // recoverable from git, and cap-lint is zero-dependency by
+            // design so it cannot use cap_obs::fsx (R002 baselined).
+            std::fs::write(&entry.abs, fixed).map_err(|e| format!("write {}: {e}", entry.rel))?;
+            report.files_changed += 1;
+            report.replacements += n;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{check_rust, RuleId};
+
+    #[test]
+    fn r003_rewrites_word_bounded_hash_collections() {
+        let src = "use std::collections::{HashMap, HashSet};\n\
+                   fn f(m: HashMap<u32, FxHashMap>, s: HashSet<u8>) {}\n\
+                   // a HashMap in a comment stays\n\
+                   let s = \"HashMap in a string stays\";\n";
+        let (fixed, n) = fix_source("crates/x/src/lib.rs", src).unwrap();
+        assert_eq!(n, 4);
+        assert!(fixed.contains("use std::collections::{BTreeMap, BTreeSet};"));
+        assert!(fixed.contains("m: BTreeMap<u32, FxHashMap>"), "{fixed}");
+        assert!(fixed.contains("s: BTreeSet<u8>"));
+        assert!(fixed.contains("// a HashMap in a comment stays"));
+        assert!(fixed.contains("\"HashMap in a string stays\""));
+    }
+
+    #[test]
+    fn r004_rewrites_qualified_instant_now_but_not_system_time() {
+        let src = "let a = Instant::now();\n\
+                   let b = std::time::Instant::now();\n\
+                   let c = time::Instant::now();\n\
+                   let d = std::time::SystemTime::now();\n";
+        let (fixed, n) = fix_source("crates/x/src/lib.rs", src).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(fixed.matches("cap_obs::clock::now()").count(), 3);
+        assert!(
+            !fixed.contains("std::time::cap_obs"),
+            "prefix folded: {fixed}"
+        );
+        assert!(
+            fixed.contains("std::time::SystemTime::now()"),
+            "SystemTime has no drop-in fix: {fixed}"
+        );
+    }
+
+    #[test]
+    fn fix_is_idempotent_and_verified_by_the_scanner() {
+        let src = "use std::collections::HashMap;\nlet t = std::time::Instant::now();\n";
+        let path = "crates/x/src/lib.rs";
+        assert!(!check_rust(path, src).is_empty(), "fixture must violate");
+        let (fixed, _) = fix_source(path, src).unwrap();
+        let remaining: Vec<_> = check_rust(path, &fixed)
+            .into_iter()
+            .filter(|v| v.rule == RuleId::R003 || v.rule == RuleId::R004)
+            .collect();
+        assert!(remaining.is_empty(), "scanner still fires: {remaining:?}");
+        assert!(
+            fix_source(path, &fixed).is_none(),
+            "second pass must be a no-op"
+        );
+    }
+
+    #[test]
+    fn test_regions_and_obs_are_left_alone() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(
+            fix_source("crates/x/src/lib.rs", src).is_none(),
+            "cfg(test) regions are exempt from R003, so not rewritten"
+        );
+        let obs = "let t = Instant::now();\nlet m: HashMap<u8, u8>;\n";
+        let (fixed, n) = fix_source("crates/obs/src/clock.rs", obs).unwrap();
+        assert_eq!(n, 1, "only the R003 hit; obs may read the clock");
+        assert!(fixed.contains("Instant::now()"));
+        assert!(fixed.contains("BTreeMap<u8, u8>"));
+        assert!(
+            fix_source("tests/whatever.rs", src).is_none(),
+            "test dirs are exempt entirely"
+        );
+    }
+
+    #[test]
+    fn trailing_newline_and_crlf_free_layout_survive() {
+        let src = "use std::collections::HashMap;";
+        let (fixed, _) = fix_source("crates/x/src/lib.rs", src).unwrap();
+        assert_eq!(fixed, "use std::collections::BTreeMap;", "no newline added");
+        let src_nl = "use std::collections::HashMap;\n";
+        let (fixed_nl, _) = fix_source("crates/x/src/lib.rs", src_nl).unwrap();
+        assert!(fixed_nl.ends_with(";\n"), "trailing newline kept");
+    }
+}

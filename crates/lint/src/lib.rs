@@ -25,6 +25,7 @@
 //! ```
 
 pub mod allow;
+pub mod fix;
 pub mod lexer;
 pub mod rules;
 pub mod walk;

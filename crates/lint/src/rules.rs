@@ -134,7 +134,7 @@ fn char_col(line: &str, byte: usize) -> usize {
 /// True for paths whose whole content is test/demo code: integration
 /// test dirs, benches, and examples. `#[cfg(test)]` regions inside
 /// library files are handled separately by the lexer.
-fn is_test_path(path: &str) -> bool {
+pub(crate) fn is_test_path(path: &str) -> bool {
     path.split('/')
         .any(|seg| seg == "tests" || seg == "benches" || seg == "examples")
 }

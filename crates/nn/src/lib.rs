@@ -41,6 +41,7 @@
 pub mod checkpoint;
 mod error;
 mod gradcheck;
+pub mod heartbeat;
 pub mod layer;
 mod loss;
 mod metrics;

@@ -228,6 +228,7 @@ impl RunDir {
         cap_obs::fsx::atomic_write(&path, &bytes)
             .map_err(io_err(format!("write {}", path.display())))?;
         cap_obs::counter_add("nn.rundir.checkpoints_total", 1);
+        crate::heartbeat::beat();
         self.prune_generations();
         Ok(())
     }
@@ -337,6 +338,7 @@ impl RunDir {
             .and_then(|()| file.sync_all())
             .map_err(io_err(ctx))?;
         cap_obs::counter_add("nn.rundir.journal_lines_total", 1);
+        crate::heartbeat::beat();
         Ok(())
     }
 

@@ -285,6 +285,7 @@ pub fn fit(
             elapsed_secs: epoch_start.elapsed().as_secs_f64(),
         };
         cap_obs::counter_add("nn.epochs_total", 1);
+        crate::heartbeat::beat();
         // Live gauges: a /metrics scrape mid-run sees the most recent
         // epoch's position and quality without waiting for events.
         cap_obs::gauge_set("nn.fit.epoch", epoch as f64);

@@ -362,8 +362,11 @@ pub fn init_telemetry(cli_trace: Option<&str>) -> Result<Telemetry, String> {
         Some(spec) => init_from_spec(spec).map(|()| true)?,
         None => init_from_env()?,
     };
+    // Resilient bind: an address squatted by another process retries
+    // with backoff, then degrades to disabled-with-warning — telemetry
+    // loss must not error the run it observes.
     let serving = match std::env::var("CAP_METRICS_ADDR") {
-        Ok(addr) if !addr.is_empty() => Some(serve::start_global(&addr)?),
+        Ok(addr) if !addr.is_empty() => serve::start_global_resilient(&addr)?,
         _ => None,
     };
     let profiling = match prof::hz_from_env() {

@@ -36,6 +36,7 @@
 //! ```
 
 use crate::json;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,6 +45,12 @@ use std::time::Duration;
 
 /// Upper bound on request bytes we read (request line + headers).
 const MAX_REQUEST_BYTES: usize = 8192;
+
+/// Bind attempts before [`Server::start_resilient`] gives up on an
+/// `EADDRINUSE` address and degrades to disabled.
+const BIND_ATTEMPTS: u32 = 4;
+/// First retry delay for an in-use address; doubles per attempt.
+const BIND_BACKOFF: Duration = Duration::from_millis(20);
 
 /// A running telemetry server. Dropping (or calling [`Server::stop`])
 /// shuts the accept loop down and joins its thread.
@@ -64,6 +71,47 @@ impl Server {
     /// Returns the formatted I/O error when the address cannot be bound.
     pub fn start(addr: &str) -> Result<Server, String> {
         let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        Server::start_listener(listener)
+    }
+
+    /// Like [`Server::start`], but resilient to a taken address: an
+    /// `EADDRINUSE` bind is retried [`BIND_ATTEMPTS`] times with capped
+    /// exponential backoff, and if the address is *still* in use the
+    /// server degrades to disabled — a warning on stderr and
+    /// `Ok(None)` — instead of failing the run. Telemetry is an
+    /// observer; losing it must never kill the workload it observes.
+    /// Any other bind error is still reported as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the formatted I/O error for non-`EADDRINUSE` failures.
+    pub fn start_resilient(addr: &str) -> Result<Option<Server>, String> {
+        let mut delay = BIND_BACKOFF;
+        for attempt in 1..=BIND_ATTEMPTS {
+            match TcpListener::bind(addr) {
+                Ok(listener) => return Server::start_listener(listener).map(Some),
+                Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                    if attempt < BIND_ATTEMPTS {
+                        eprintln!(
+                            "cap-obs: {addr} in use (attempt {attempt}/{BIND_ATTEMPTS}), \
+                             retrying in {}ms",
+                            delay.as_millis()
+                        );
+                        std::thread::sleep(delay);
+                        delay = delay.saturating_mul(2).min(Duration::from_millis(500));
+                    }
+                }
+                Err(e) => return Err(format!("bind {addr}: {e}")),
+            }
+        }
+        eprintln!(
+            "cap-obs: warning: {addr} still in use after {BIND_ATTEMPTS} attempts — \
+             telemetry server disabled for this run"
+        );
+        Ok(None)
+    }
+
+    fn start_listener(listener: TcpListener) -> Result<Server, String> {
         let local = listener
             .local_addr()
             .map_err(|e| format!("local_addr: {e}"))?;
@@ -187,6 +235,56 @@ fn route_handle_histogram(path: &str) -> Option<&'static str> {
     }
 }
 
+/// A dynamic route handler: receives the (possibly empty) query string
+/// and returns `(content_type, body)`.
+type DynHandler = Box<dyn Fn(&str) -> (&'static str, String) + Send + Sync>;
+
+fn dynamic_routes() -> &'static Mutex<BTreeMap<&'static str, DynHandler>> {
+    static ROUTES: OnceLock<Mutex<BTreeMap<&'static str, DynHandler>>> = OnceLock::new();
+    ROUTES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Registers a process-global dynamic GET route served alongside the
+/// built-in ones (e.g. `capfleet`'s `/fleet` aggregation page). The
+/// path must start with `/` and not collide with a built-in route;
+/// re-registering a path replaces its handler. Static paths only — the
+/// route table must stay bounded.
+pub fn register_route(
+    path: &'static str,
+    handler: impl Fn(&str) -> (&'static str, String) + Send + Sync + 'static,
+) {
+    debug_assert!(path.starts_with('/'), "route paths start with '/'");
+    let mut routes = dynamic_routes().lock().unwrap_or_else(|p| p.into_inner());
+    routes.insert(path, Box::new(handler));
+}
+
+/// Removes a dynamic route (no-op when absent).
+pub fn unregister_route(path: &str) {
+    let mut routes = dynamic_routes().lock().unwrap_or_else(|p| p.into_inner());
+    routes.remove(path);
+}
+
+/// Serves `base` from the dynamic route table, if registered. The
+/// handler runs under the table lock; handlers are expected to be
+/// quick renderers (the accept loop is single-threaded anyway).
+fn dynamic_response(base: &str, query: &str) -> Option<(&'static str, &'static str, String)> {
+    let routes = dynamic_routes().lock().unwrap_or_else(|p| p.into_inner());
+    let handler = routes.get(base)?;
+    let (content_type, body) = handler(query);
+    Some(("200 OK", content_type, body))
+}
+
+/// The registered dynamic route paths, space-separated (for the 404
+/// route listing).
+fn dynamic_route_names() -> String {
+    let routes = dynamic_routes().lock().unwrap_or_else(|p| p.into_inner());
+    routes.keys().fold(String::new(), |mut acc, k| {
+        acc.push(' ');
+        acc.push_str(k);
+        acc
+    })
+}
+
 fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
     if method != "GET" {
         return (
@@ -230,11 +328,16 @@ fn route(method: &str, path: &str) -> (&'static str, &'static str, String) {
             "image/svg+xml; charset=utf-8",
             crate::flame::render_svg(&crate::prof::live_stacks(), "live profile"),
         ),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "routes: /metrics /healthz /report /trace /api/series /dash /prof\n".to_string(),
-        ),
+        _ => dynamic_response(base, query).unwrap_or_else(|| {
+            (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                format!(
+                    "routes: /metrics /healthz /report /trace /api/series /dash /prof{}\n",
+                    dynamic_route_names()
+                ),
+            )
+        }),
     }
 }
 
@@ -375,6 +478,21 @@ fn global_slot() -> &'static Mutex<Option<Server>> {
 /// Propagates [`Server::start`] errors.
 pub fn start_global(addr: &str) -> Result<SocketAddr, String> {
     let server = Server::start(addr)?;
+    Ok(install_global(server))
+}
+
+/// The resilient variant of [`start_global`]: an address that is still
+/// in use after [`Server::start_resilient`]'s retries yields
+/// `Ok(None)` (telemetry disabled, run continues) instead of an error.
+///
+/// # Errors
+///
+/// Propagates non-`EADDRINUSE` [`Server::start_resilient`] errors.
+pub fn start_global_resilient(addr: &str) -> Result<Option<SocketAddr>, String> {
+    Ok(Server::start_resilient(addr)?.map(install_global))
+}
+
+fn install_global(server: Server) -> SocketAddr {
     crate::flight::enable_from_env();
     let bound = server.addr();
     let mut slot = global_slot().lock().unwrap();
@@ -382,7 +500,7 @@ pub fn start_global(addr: &str) -> Result<SocketAddr, String> {
         old.stop();
     }
     *slot = Some(server);
-    Ok(bound)
+    bound
 }
 
 /// Address of the running global server, if any.
@@ -448,6 +566,45 @@ mod tests {
         assert!(http_get(addr, "/healthz").is_err());
         crate::disable();
         crate::reset();
+    }
+
+    #[test]
+    fn resilient_start_degrades_on_addr_in_use() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        // Squat a concrete port with a plain listener, then ask for a
+        // resilient server on the same address: after its retries it
+        // must degrade to Ok(None), not error.
+        let squatter = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = squatter.local_addr().unwrap().to_string();
+        let degraded = Server::start_resilient(&addr).unwrap();
+        assert!(degraded.is_none(), "in-use addr must degrade to None");
+        // A free address still starts normally through the same path.
+        let server = Server::start_resilient("127.0.0.1:0").unwrap().unwrap();
+        assert_ne!(server.addr().port(), 0);
+        server.stop();
+        drop(squatter);
+        crate::disable();
+        crate::reset();
+    }
+
+    #[test]
+    fn dynamic_routes_are_served_and_listed() {
+        let _guard = crate::test_lock();
+        register_route("/fleet-test", |query| {
+            ("text/plain; charset=utf-8", format!("q={query}"))
+        });
+        let (status, content_type, body) = route("GET", "/fleet-test?a=1");
+        assert!(status.starts_with("200"), "{status}");
+        assert!(content_type.starts_with("text/plain"));
+        assert_eq!(body, "q=a=1");
+        // The 404 listing advertises registered dynamic routes.
+        let (status, _, body) = route("GET", "/nope");
+        assert!(status.starts_with("404"));
+        assert!(body.contains("/fleet-test"), "{body}");
+        unregister_route("/fleet-test");
+        let (status, _, _) = route("GET", "/fleet-test");
+        assert!(status.starts_with("404"));
     }
 
     #[test]

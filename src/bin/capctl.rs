@@ -474,6 +474,14 @@ fn tail_jsonl(dir: &std::path::Path, name: &str, n: usize) -> Result<usize, CtlE
 fn cmd_tail(run_dir: &str) -> Result<(), CtlError> {
     let dir = std::path::Path::new(run_dir);
     let series = dir.join("series.capts");
+    // A run that never recorded history (telemetry disabled, or died
+    // before the first flush) is a normal state, not an error.
+    if !series.exists() {
+        println!("no history recorded ({} has no series.capts)", run_dir);
+        tail_jsonl(dir, "alerts.jsonl", 5)?;
+        tail_jsonl(dir, "class_attribution.jsonl", 5)?;
+        return Ok(());
+    }
     let samples = cap_obs::tsdb::read_samples(&series).map_err(|e| CtlError::RunDir {
         context: format!("read {}", series.display()),
         source: RunDirError::Corrupt {
@@ -534,6 +542,10 @@ fn cmd_dash(args: &[String]) -> Result<(), CtlError> {
     let run_dir = run_dir.ok_or_else(|| usage_err("dash requires a run dir"))?;
     let export = export.ok_or_else(|| usage_err("dash requires --export <file.html>"))?;
     let series = std::path::Path::new(&run_dir).join("series.capts");
+    if !series.exists() {
+        println!("no history recorded ({run_dir} has no series.capts); nothing to export");
+        return Ok(());
+    }
     let samples = cap_obs::tsdb::read_samples(&series).map_err(|e| CtlError::RunDir {
         context: format!("read {}", series.display()),
         source: RunDirError::Corrupt {

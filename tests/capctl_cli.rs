@@ -80,6 +80,36 @@ fn run_dir_misuse_exits_4() {
 }
 
 #[test]
+fn tail_and_dash_on_history_less_run_dir_exit_0() {
+    // A run dir with no recorded history (telemetry disabled, or the
+    // run died before the first flush) is a normal state: both
+    // commands say so and exit 0 instead of failing.
+    let dir = scratch("nohistory");
+    let out = capctl(&["tail", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "tail on empty run dir");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no history recorded"),
+        "stdout was: {stdout}"
+    );
+    let export = dir.join("dash.html");
+    let out = capctl(&[
+        "dash",
+        dir.to_str().unwrap(),
+        "--export",
+        export.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "dash on empty run dir");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no history recorded"),
+        "stdout was: {stdout}"
+    );
+    assert!(!export.exists(), "nothing should be exported");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_trace_spec_exits_7() {
     let out = capctl(&["--trace", "nonsense-spec", "info", "x.capn"]);
     assert_eq!(out.status.code(), Some(7));
