@@ -1,8 +1,9 @@
 //! `caplint` — mechanical enforcement of the workspace's determinism,
-//! atomic-IO, and threading contracts (rules R001–R007).
+//! atomic-IO, and threading contracts (rules R001–R011).
 //!
 //! ```text
 //! caplint [--root DIR] [--allow FILE] [--json] [--list-rules]
+//! caplint graph [--root DIR] [--json]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` non-baselined violations, `2` stale
@@ -18,6 +19,7 @@ struct Opts {
     json: bool,
     list_rules: bool,
     fix: bool,
+    graph: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -27,28 +29,40 @@ fn parse_args() -> Result<Opts, String> {
         json: false,
         list_rules: false,
         fix: false,
+        graph: false,
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("graph") {
+        opts.graph = true;
+        args.next();
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => {
                 opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
             }
-            "--allow" => {
+            "--allow" if !opts.graph => {
                 opts.allow = Some(PathBuf::from(args.next().ok_or("--allow needs a file")?));
             }
             "--json" => opts.json = true,
-            "--list-rules" => opts.list_rules = true,
-            "--fix" => opts.fix = true,
+            "--list-rules" if !opts.graph => opts.list_rules = true,
+            "--fix" if !opts.graph => opts.fix = true,
             "--help" | "-h" => {
                 println!(
-                    "caplint [--root DIR] [--allow FILE] [--json] [--list-rules] [--fix]\n\n\
+                    "caplint [--root DIR] [--allow FILE] [--json] [--list-rules] [--fix]\n\
+                     caplint graph [--root DIR] [--json]\n\n\
                      Checks every Rust source and Cargo.toml under DIR (default .)\n\
-                     against rules R001-R007; see --list-rules. The baseline defaults\n\
-                     to DIR/caplint.allow when present.\n\n\
-                     --fix rewrites R003 (HashMap/HashSet -> BTreeMap/BTreeSet) and\n\
-                     R004 (Instant::now -> cap_obs::clock::now) in place, then runs\n\
-                     the normal check to verify; the rewrite is idempotent.\n\n\
+                     against rules R001-R011; see --list-rules. R008-R010 run on an\n\
+                     approximate workspace call graph built from an item-level parse\n\
+                     of every non-test source. The baseline defaults to\n\
+                     DIR/caplint.allow when present.\n\n\
+                     caplint graph prints that call graph (deterministic text, or\n\
+                     JSON with --json) and exits 0.\n\n\
+                     --fix rewrites R003 (HashMap/HashSet -> BTreeMap/BTreeSet),\n\
+                     R004 (Instant::now / SystemTime::now -> cap_obs::clock::now),\n\
+                     and R002 (simple std::fs::write calls ->\n\
+                     cap_obs::fsx::atomic_write) in place, then runs the normal\n\
+                     check to verify; the rewrite is idempotent.\n\n\
                      Exit codes: 0 clean, 1 violations, 2 stale baseline, 3 usage/IO error."
                 );
                 std::process::exit(0);
@@ -61,6 +75,19 @@ fn parse_args() -> Result<Opts, String> {
 
 fn run() -> Result<i32, String> {
     let opts = parse_args()?;
+    if opts.graph {
+        let g = cap_lint::load_graph(&opts.root)?;
+        let out = if opts.json {
+            cap_lint::graph::render_json(&g)
+        } else {
+            cap_lint::graph::render_text(&g)
+        };
+        // The graph runs to thousands of lines and is routinely piped
+        // into `head`/`grep -m`; a closed pipe is success, not a panic.
+        use std::io::Write as _;
+        let _ = std::io::stdout().write_all(out.as_bytes());
+        return Ok(0);
+    }
     if opts.list_rules {
         print!("{}", cap_lint::render_rule_list());
         return Ok(0);

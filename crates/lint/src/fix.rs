@@ -1,19 +1,29 @@
-//! `caplint --fix`: mechanical rewrites for the two rules with a
-//! drop-in replacement.
+//! `caplint --fix`: mechanical rewrites for the rules with a drop-in
+//! replacement.
 //!
+//! - **R002** — simple `std::fs::write(path, bytes)` call shapes →
+//!   `cap_obs::fsx::atomic_write(path, bytes)`. Only the call form is
+//!   rewritten (the needle must be followed by `(`), and only outside
+//!   `fsx.rs` (the implementation) and `crates/lint/` (zero-dependency
+//!   by design, so it cannot use cap_obs).
 //! - **R003** — `HashMap` → `BTreeMap`, `HashSet` → `BTreeSet`
 //!   (word-bounded, so `FxHashMap` or `HashMapLike` are untouched).
 //! - **R004** — `Instant::now` (with any `std::time::` / `time::`
-//!   qualification) → `cap_obs::clock::now`. `SystemTime::now` has no
-//!   drop-in replacement returning an `Instant`, so it is reported but
-//!   never rewritten.
+//!   qualification) → `cap_obs::clock::now`; and *qualified*
+//!   `std::time::SystemTime::now()` / `time::SystemTime::now()` in
+//!   simple call positions → `cap_obs::clock::now()`. The SystemTime
+//!   rewrite changes the value's type to `Instant`, which is the
+//!   workspace's only sanctioned time handle — but call sites feeding
+//!   `.duration_since(UNIX_EPOCH)`-style epoch math are left alone
+//!   (reported, not rewritten), and an unqualified `SystemTime::now()`
+//!   is too ambiguous to touch.
 //!
 //! Rewrites reuse the scanner's masking, so comments, string literals,
 //! and `#[cfg(test)]` regions are never touched, and the fixer edits
 //! exactly the spans the scanner would flag. The fixer is idempotent:
-//! its replacements contain no `HashMap`/`HashSet`/`Instant::now`
-//! tokens, so a second pass finds nothing — `--fix` runs the normal
-//! check afterwards to prove it.
+//! its replacements contain none of the needle tokens, so a second
+//! pass finds nothing — `--fix` runs the normal check afterwards to
+//! prove it.
 
 use crate::lexer::{find_word, mask};
 use crate::walk;
@@ -87,6 +97,83 @@ fn r004_splices(masked_line: &str, out: &mut Vec<Splice>) {
     }
 }
 
+/// Collects R002 `fs::write(` call-shape replacements on one masked
+/// line, extending each match leftwards over a `std::` / `::` prefix.
+fn r002_splices(masked_line: &str, out: &mut Vec<Splice>) {
+    const NEEDLE: &str = "fs::write";
+    let mut from = 0;
+    while let Some(pos) = masked_line[from..].find(NEEDLE) {
+        let mut start = from + pos;
+        let end = start + NEEDLE.len();
+        from = end;
+        // Word boundary on the left (`dfs::write` is something else)…
+        if start > 0 {
+            let prev = masked_line.as_bytes()[start - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                continue;
+            }
+        }
+        // …and only the simple call shape on the right: anything else
+        // (a path mention, a fn-pointer reference) stays reported-only.
+        if !masked_line[end..].starts_with('(') {
+            continue;
+        }
+        for prefix in ["std::", "::"] {
+            if masked_line[..start].ends_with(prefix) {
+                start -= prefix.len();
+                break;
+            }
+        }
+        out.push(Splice {
+            start,
+            end,
+            with: "cap_obs::fsx::atomic_write",
+        });
+    }
+}
+
+/// Collects R004 `SystemTime::now()` replacements on one masked line.
+/// Only fully qualified hits in simple call positions are rewritten;
+/// `.duration_since` continuations keep their epoch semantics.
+fn r004_system_time_splices(masked_line: &str, out: &mut Vec<Splice>) {
+    const NEEDLE: &str = "SystemTime::now";
+    let mut from = 0;
+    while let Some(pos) = masked_line[from..].find(NEEDLE) {
+        let hit = from + pos;
+        let end = hit + NEEDLE.len();
+        from = end;
+        // Must be qualified: the unqualified form can't be told apart
+        // from a local type alias without real name resolution.
+        let mut start = hit;
+        for prefix in ["std::time::", "time::"] {
+            if masked_line[..hit].ends_with(prefix) {
+                start = hit - prefix.len();
+                break;
+            }
+        }
+        if start == hit {
+            continue;
+        }
+        // Simple call position: `()` immediately after, and no
+        // `.duration_since` continuation consuming the SystemTime.
+        let after = &masked_line[end..];
+        if !after.starts_with("()") {
+            continue;
+        }
+        if after["()".len()..]
+            .trim_start()
+            .starts_with(".duration_since")
+        {
+            continue;
+        }
+        out.push(Splice {
+            start,
+            end,
+            with: "cap_obs::clock::now",
+        });
+    }
+}
+
 /// Applies sorted, non-overlapping char-span splices to a raw line.
 /// Masking is char-per-char position preserving, so masked-line byte
 /// offsets are char offsets on the raw line.
@@ -113,6 +200,10 @@ pub fn fix_source(path: &str, src: &str) -> Option<(String, usize)> {
         return None;
     }
     let fix_r004 = !path.starts_with("crates/obs/src/");
+    // fsx.rs implements atomic_write with raw files; cap-lint is
+    // zero-dependency and cannot import cap_obs (its own fs::write is
+    // R002-baselined with that justification).
+    let fix_r002 = !path.ends_with("fsx.rs") && !path.starts_with("crates/lint/");
     let masked = mask(src);
     let mut raw_lines: Vec<String> = src.split('\n').map(str::to_string).collect();
     let mut replacements = 0;
@@ -124,6 +215,10 @@ pub fn fix_source(path: &str, src: &str) -> Option<(String, usize)> {
         r003_splices(masked_line, &mut splices);
         if fix_r004 {
             r004_splices(masked_line, &mut splices);
+            r004_system_time_splices(masked_line, &mut splices);
+        }
+        if fix_r002 {
+            r002_splices(masked_line, &mut splices);
         }
         if splices.is_empty() {
             continue;
@@ -183,33 +278,70 @@ mod tests {
     }
 
     #[test]
-    fn r004_rewrites_qualified_instant_now_but_not_system_time() {
+    fn r004_rewrites_qualified_instant_now_and_simple_system_time_calls() {
         let src = "let a = Instant::now();\n\
                    let b = std::time::Instant::now();\n\
                    let c = time::Instant::now();\n\
                    let d = std::time::SystemTime::now();\n";
         let (fixed, n) = fix_source("crates/x/src/lib.rs", src).unwrap();
-        assert_eq!(n, 3);
-        assert_eq!(fixed.matches("cap_obs::clock::now()").count(), 3);
+        assert_eq!(n, 4);
+        assert_eq!(fixed.matches("cap_obs::clock::now()").count(), 4);
         assert!(
             !fixed.contains("std::time::cap_obs"),
             "prefix folded: {fixed}"
         );
+        assert!(!fixed.contains("SystemTime"), "{fixed}");
+    }
+
+    #[test]
+    fn r004_system_time_epoch_math_and_unqualified_hits_stay() {
+        let src = "let e = std::time::SystemTime::now().duration_since(UNIX_EPOCH);\n\
+                   let f = std::time::SystemTime::now() .duration_since(UNIX_EPOCH);\n\
+                   let g = SystemTime::now();\n\
+                   let h: fn() -> SystemTime = std::time::SystemTime::now;\n";
         assert!(
-            fixed.contains("std::time::SystemTime::now()"),
-            "SystemTime has no drop-in fix: {fixed}"
+            fix_source("crates/x/src/lib.rs", src).is_none(),
+            "epoch math, unqualified, and non-call positions are reported, not rewritten"
         );
     }
 
     #[test]
+    fn r002_rewrites_simple_fs_write_calls_only() {
+        let src = "std::fs::write(&path, bytes)?;\n\
+                   fs::write(path, b\"x\")?;\n\
+                   let f: fn(_, _) -> _ = std::fs::write;\n\
+                   dfs::write(path, bytes);\n";
+        let (fixed, n) = fix_source("crates/x/src/lib.rs", src).unwrap();
+        assert_eq!(n, 2, "{fixed}");
+        assert!(fixed.starts_with("cap_obs::fsx::atomic_write(&path, bytes)?;"));
+        assert!(fixed.contains("\ncap_obs::fsx::atomic_write(path, b\"x\")?;"));
+        assert!(
+            fixed.contains("let f: fn(_, _) -> _ = std::fs::write;"),
+            "non-call positions stay: {fixed}"
+        );
+        assert!(fixed.contains("dfs::write(path, bytes);"), "{fixed}");
+    }
+
+    #[test]
+    fn r002_fix_skips_fsx_and_the_lint_crate_itself() {
+        let src = "std::fs::write(&path, bytes)?;\n";
+        assert!(fix_source("crates/obs/src/fsx.rs", src).is_none());
+        assert!(fix_source("crates/lint/src/fix.rs", src).is_none());
+        assert!(fix_source("crates/x/src/lib.rs", src).is_some());
+    }
+
+    #[test]
     fn fix_is_idempotent_and_verified_by_the_scanner() {
-        let src = "use std::collections::HashMap;\nlet t = std::time::Instant::now();\n";
+        let src = "use std::collections::HashMap;\n\
+                   let t = std::time::Instant::now();\n\
+                   let s = std::time::SystemTime::now();\n\
+                   std::fs::write(&p, b)?;\n";
         let path = "crates/x/src/lib.rs";
         assert!(!check_rust(path, src).is_empty(), "fixture must violate");
         let (fixed, _) = fix_source(path, src).unwrap();
         let remaining: Vec<_> = check_rust(path, &fixed)
             .into_iter()
-            .filter(|v| v.rule == RuleId::R003 || v.rule == RuleId::R004)
+            .filter(|v| v.rule == RuleId::R002 || v.rule == RuleId::R003 || v.rule == RuleId::R004)
             .collect();
         assert!(remaining.is_empty(), "scanner still fires: {remaining:?}");
         assert!(

@@ -1,0 +1,551 @@
+//! Approximate workspace call graph over [`crate::parse`] output.
+//!
+//! Nodes are non-test `fn` items; edges are resolved call sites. The
+//! resolver is deliberately over-approximate — a call may resolve to
+//! several same-named candidates — but it is bounded two ways so the
+//! reachability rules (R008–R010) stay usable:
+//!
+//! - **Crate-dependency filter.** A cross-crate edge is only admitted
+//!   when the caller's `Cargo.toml` (transitively) depends on the
+//!   callee's crate. A `.append(` on a `Vec` in cap-tensor can never
+//!   resolve into cap-fleet's queue, because tensor does not depend on
+//!   fleet. Unknown crates (scratch fixtures, the root facade) are
+//!   treated permissively.
+//! - **Qualifier matching.** Qualified calls (`fsx::atomic_write(`,
+//!   `Conv2d::forward(`) must match the candidate's `impl` owner, file
+//!   stem, or crate; bare `helper(` calls resolve same-file or through
+//!   a `use` import naming the callee.
+//!
+//! Serialization (text and JSON) is deterministic and byte-stable for
+//! a given set of input files, independent of input ordering — CI
+//! uploads it as an artifact and diffs between runs must be
+//! meaningful.
+
+use crate::parse::{crate_dir_of, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One graph node: a non-test `fn` item.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Index of the owning file in the input slice.
+    pub file: usize,
+    /// Workspace-relative path (redundant with `file`, kept for
+    /// rendering without the file list).
+    pub path: String,
+    /// Function name.
+    pub name: String,
+    /// `impl` owner type, when any.
+    pub owner: Option<String>,
+    /// 1-based line of the `fn` name.
+    pub line: usize,
+    /// 1-based char column of the `fn` name.
+    pub col: usize,
+    /// Index of the `FnItem` within its file's `fns`.
+    pub item: usize,
+}
+
+impl Node {
+    /// Stable display id: `path:line:Owner::name` (line disambiguates
+    /// `cfg`-duplicated items).
+    pub fn id(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{}:{}:{}::{}", self.path, self.line, o, self.name),
+            None => format!("{}:{}:{}", self.path, self.line, self.name),
+        }
+    }
+
+    /// Short human label: `Owner::name` or `name`.
+    pub fn label(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{}::{}", o, self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Caller node index.
+    pub from: usize,
+    /// Callee node index.
+    pub to: usize,
+    /// 1-based line of the call site (in the caller's file).
+    pub line: usize,
+}
+
+/// Transitive crate-dependency map, from workspace manifests.
+#[derive(Debug, Default)]
+pub struct Deps {
+    /// crate dir → crate dirs it (transitively) depends on.
+    map: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl Deps {
+    /// Builds the map from `(rel_path, manifest_source)` pairs. Only
+    /// `crates/<dir>/Cargo.toml` manifests contribute; dependency
+    /// lines are recognised by their `cap-<dir>` package prefix
+    /// (workspace convention: crate `crates/x` is package `cap-x`).
+    pub fn from_manifests(manifests: &[(String, String)]) -> Self {
+        let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (rel, src) in manifests {
+            let segs: Vec<&str> = rel.split('/').collect();
+            if segs.len() != 3 || segs[0] != "crates" || segs[2] != "Cargo.toml" {
+                continue;
+            }
+            let dir = segs[1].to_string();
+            let deps = direct.entry(dir).or_default();
+            for line in src.lines() {
+                let t = line.trim();
+                let Some(rest) = t.strip_prefix("cap-") else {
+                    continue;
+                };
+                let name: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '-' || *c == '_')
+                    .collect();
+                if !name.is_empty() {
+                    deps.insert(name);
+                }
+            }
+        }
+        // Transitive closure (the workspace is tiny; fixpoint is fine).
+        loop {
+            let mut grew = false;
+            let keys: Vec<String> = direct.keys().cloned().collect();
+            for k in &keys {
+                let reach: Vec<String> = direct[k]
+                    .iter()
+                    .flat_map(|d| direct.get(d).into_iter().flatten().cloned())
+                    .collect();
+                let set = direct.get_mut(k).expect("key exists");
+                for r in reach {
+                    grew |= set.insert(r);
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        Deps { map: direct }
+    }
+
+    /// Whether an edge from crate `a` into crate `b` is plausible.
+    /// Unknown crates (fixtures, root facade: empty dir key) are
+    /// permissive; same-crate is always allowed.
+    pub fn allows(&self, a: &str, b: &str) -> bool {
+        if a == b || a.is_empty() || b.is_empty() {
+            return true;
+        }
+        match self.map.get(a) {
+            Some(set) => set.contains(b),
+            None => true,
+        }
+    }
+}
+
+/// The workspace call graph.
+#[derive(Debug)]
+pub struct Graph {
+    /// Nodes, in deterministic (path, line) order.
+    pub nodes: Vec<Node>,
+    /// Edges, deduplicated and sorted by (from, to, line).
+    pub edges: Vec<Edge>,
+    /// Sorted adjacency: node index → callee node indices.
+    pub adjacency: Vec<Vec<usize>>,
+    /// Number of files that contributed nodes.
+    pub files: usize,
+}
+
+/// Builds the graph. `files` must already exclude test paths and
+/// vendored code (the caller controls the walk); test-region `fn`s are
+/// excluded here.
+pub fn build(files: &[ParsedFile], deps: &Deps) -> Graph {
+    // Deterministic node order regardless of input order.
+    let mut order: Vec<usize> = (0..files.len()).collect();
+    order.sort_by(|&a, &b| files[a].path.cmp(&files[b].path));
+
+    let mut nodes: Vec<Node> = Vec::new();
+    for &fi in &order {
+        let f = &files[fi];
+        for (ii, item) in f.fns.iter().enumerate() {
+            if item.test {
+                continue;
+            }
+            nodes.push(Node {
+                file: fi,
+                path: f.path.clone(),
+                name: item.name.clone(),
+                owner: item.owner.clone(),
+                line: item.line,
+                col: item.col,
+                item: ii,
+            });
+        }
+    }
+
+    // name → node indices.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        by_name.entry(n.name.as_str()).or_default().push(i);
+    }
+    // (file, item) → node index, for callers.
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (i, n) in nodes.iter().enumerate() {
+        node_of.insert((n.file, n.item), i);
+    }
+
+    let mut edge_set: BTreeSet<Edge> = BTreeSet::new();
+    for (caller_idx, caller) in nodes.iter().enumerate() {
+        let f = &files[caller.file];
+        let item = &f.fns[caller.item];
+        let caller_crate = f.crate_dir();
+        for call in &item.calls {
+            let Some(cands) = by_name.get(call.name.as_str()) else {
+                continue;
+            };
+            for &t in cands {
+                if t == caller_idx {
+                    continue; // self-recursion adds nothing to reachability
+                }
+                let target = &nodes[t];
+                let tf = &files[target.file];
+                if !deps.allows(caller_crate, crate_dir_of(&target.path)) {
+                    continue;
+                }
+                if !qualifier_matches(call, caller.file == target.file, target, tf, f) {
+                    continue;
+                }
+                edge_set.insert(Edge {
+                    from: caller_idx,
+                    to: t,
+                    line: call.line,
+                });
+            }
+        }
+    }
+    // node_of currently unused beyond construction sanity; keep the
+    // lookup alive for future rules without warnings.
+    let _ = node_of.len();
+
+    let edges: Vec<Edge> = edge_set.into_iter().collect();
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for e in &edges {
+        if !adjacency[e.from].contains(&e.to) {
+            adjacency[e.from].push(e.to);
+        }
+    }
+    for adj in &mut adjacency {
+        adj.sort_unstable();
+    }
+    Graph {
+        files: files.len(),
+        nodes,
+        edges,
+        adjacency,
+    }
+}
+
+/// Whether a call's qualification is compatible with a candidate.
+fn qualifier_matches(
+    call: &crate::parse::CallSite,
+    same_file: bool,
+    target: &Node,
+    target_file: &ParsedFile,
+    caller_file: &ParsedFile,
+) -> bool {
+    if call.method {
+        // `.name(` — receiver type unknown; accept candidates that are
+        // methods (have an owner). Free fns can't be `.`-called without
+        // very unusual code.
+        return target.owner.is_some();
+    }
+    if call.qualifier.is_empty() {
+        // Bare call: same file, or imported by name.
+        if same_file {
+            return true;
+        }
+        return caller_file.uses.iter().any(|u| {
+            (u.leaf == call.name || u.leaf == "*")
+                && import_points_at(&u.path, target, target_file, u.leaf == "*")
+        });
+    }
+    // Qualified call: resolve the head through imports (one level), then
+    // match the last qualifier segment.
+    let mut qual: Vec<String> = call.qualifier.clone();
+    if let Some(u) = caller_file.uses.iter().find(|u| u.leaf == qual[0]) {
+        let mut expanded = u.path.clone();
+        expanded.extend(qual[1..].iter().cloned());
+        qual = expanded;
+    }
+    let last = qual.last().map(String::as_str).unwrap_or("");
+    if last == "self" || last == "crate" || last == "super" {
+        return same_file || crate_dir_of(&caller_file.path) == crate_dir_of(&target.path);
+    }
+    // `Type::assoc(` — impl owner match.
+    if target.owner.as_deref() == Some(last) {
+        return true;
+    }
+    // `module::fn(` — file stem match.
+    if target.owner.is_none() && target_file.file_stem() == last {
+        return true;
+    }
+    // `cap_x::fn(` / `crate::fn(` — crate-head match on a free fn.
+    if target.owner.is_none() {
+        if let Some(dir) = crate_head_dir(last, caller_file) {
+            return dir == crate_dir_of(&target.path) || dir.is_empty();
+        }
+    }
+    false
+}
+
+/// Whether a `use` path plausibly points at `target`: its segments
+/// must mention the target's crate, file stem, owner, or (for exact
+/// imports) end at the item name.
+fn import_points_at(path: &[String], target: &Node, target_file: &ParsedFile, glob: bool) -> bool {
+    if !glob && path.last().map(String::as_str) != Some(target.name.as_str()) {
+        // An aliased import may end elsewhere; require the name match
+        // for exact imports, since leaf == call name was checked.
+        if path.last().map(String::as_str) != target.owner.as_deref() {
+            return false;
+        }
+    }
+    let stem = target_file.file_stem();
+    let dir = crate_dir_of(&target.path);
+    path.iter().any(|seg| {
+        seg == "crate"
+            || seg == stem
+            || Some(seg.as_str()) == target.owner.as_deref()
+            || seg.strip_prefix("cap_") == Some(dir)
+    }) || path.len() <= 1
+}
+
+/// Maps a path head to a crate dir: `cap_x` → `x`, `crate`/`self`/
+/// `super` → the caller's crate. Returns `None` for `std`, external
+/// names, or type-looking heads.
+fn crate_head_dir<'a>(head: &'a str, caller_file: &'a ParsedFile) -> Option<&'a str> {
+    if head == "crate" || head == "self" || head == "super" {
+        return Some(crate_dir_of(&caller_file.path));
+    }
+    head.strip_prefix("cap_")
+}
+
+/// Deterministic text serialization.
+pub fn render_text(g: &Graph) -> String {
+    let mut out = String::new();
+    out.push_str("caplint-graph v1\n");
+    out.push_str(&format!(
+        "meta fns {} edges {} files {}\n",
+        g.nodes.len(),
+        g.edges.len(),
+        g.files
+    ));
+    for n in &g.nodes {
+        out.push_str(&format!("fn {}\n", n.id()));
+    }
+    let mut lines: Vec<String> = g
+        .edges
+        .iter()
+        .map(|e| {
+            format!(
+                "edge {} -> {} line {}\n",
+                g.nodes[e.from].id(),
+                g.nodes[e.to].id(),
+                e.line
+            )
+        })
+        .collect();
+    lines.sort();
+    for l in lines {
+        out.push_str(&l);
+    }
+    out
+}
+
+/// Deterministic JSON serialization (same escaping rules as the
+/// violation report).
+pub fn render_json(g: &Graph) -> String {
+    use crate::json_escape;
+    let mut out = String::new();
+    out.push_str("{\n  \"version\": 1,\n");
+    out.push_str(&format!(
+        "  \"fns\": {},\n  \"edges\": {},\n  \"files\": {},\n",
+        g.nodes.len(),
+        g.edges.len(),
+        g.files
+    ));
+    out.push_str("  \"nodes\": [\n");
+    for (i, n) in g.nodes.iter().enumerate() {
+        let owner = match &n.owner {
+            Some(o) => format!("\"{}\"", json_escape(o)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"path\": \"{}\", \"name\": \"{}\", \"owner\": {}, \"line\": {}}}{}\n",
+            json_escape(&n.id()),
+            json_escape(&n.path),
+            json_escape(&n.name),
+            owner,
+            n.line,
+            if i + 1 < g.nodes.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"edge_list\": [\n");
+    let mut rows: Vec<String> = g
+        .edges
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"from\": \"{}\", \"to\": \"{}\", \"line\": {}}}",
+                json_escape(&g.nodes[e.from].id()),
+                json_escape(&g.nodes[e.to].id()),
+                e.line
+            )
+        })
+        .collect();
+    rows.sort();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(r);
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_file;
+
+    fn two_file_fixture() -> Vec<ParsedFile> {
+        vec![
+            parse_file(
+                "crates/a/src/lib.rs",
+                "use crate::util::helper;\npub fn entry() { helper(); other::leaf(); }\npub mod other;\n",
+            ),
+            parse_file(
+                "crates/a/src/util.rs",
+                "pub fn helper() { crate::other::leaf(); }\n",
+            ),
+            parse_file("crates/a/src/other.rs", "pub fn leaf() {}\n"),
+        ]
+    }
+
+    fn edge_pairs(g: &Graph) -> Vec<(String, String)> {
+        g.edges
+            .iter()
+            .map(|e| (g.nodes[e.from].label(), g.nodes[e.to].label()))
+            .collect()
+    }
+
+    #[test]
+    fn same_crate_edges_resolve_through_uses_and_qualifiers() {
+        let files = two_file_fixture();
+        let g = build(&files, &Deps::default());
+        let pairs = edge_pairs(&g);
+        assert!(
+            pairs.contains(&("entry".into(), "helper".into())),
+            "{pairs:?}"
+        );
+        assert!(
+            pairs.contains(&("entry".into(), "leaf".into())),
+            "{pairs:?}"
+        );
+        assert!(
+            pairs.contains(&("helper".into(), "leaf".into())),
+            "{pairs:?}"
+        );
+    }
+
+    #[test]
+    fn dep_filter_blocks_cross_crate_edges() {
+        let files = vec![
+            parse_file("crates/a/src/lib.rs", "pub fn go() { work(); }\n"),
+            parse_file("crates/b/src/jobs.rs", "pub fn work() {}\n"),
+        ];
+        // Bare call, different file, no import: no edge even when deps allow.
+        let g = build(&files, &Deps::default());
+        assert!(edge_pairs(&g).is_empty(), "{:?}", edge_pairs(&g));
+        // With an import it resolves, until the dep map forbids a→b.
+        let files = vec![
+            parse_file(
+                "crates/a/src/lib.rs",
+                "use cap_b::jobs::work;\npub fn go() { work(); }\n",
+            ),
+            parse_file("crates/b/src/jobs.rs", "pub fn work() {}\n"),
+        ];
+        let g = build(&files, &Deps::default());
+        assert_eq!(edge_pairs(&g), vec![("go".into(), "work".into())]);
+        let deps = Deps::from_manifests(&[
+            (
+                "crates/a/Cargo.toml".into(),
+                "[dependencies]\ncap-c.workspace = true\n".into(),
+            ),
+            (
+                "crates/b/Cargo.toml".into(),
+                "[package]\nname = \"cap-b\"\n".into(),
+            ),
+            (
+                "crates/c/Cargo.toml".into(),
+                "[package]\nname = \"cap-c\"\n".into(),
+            ),
+        ]);
+        let g = build(&files, &deps);
+        assert!(edge_pairs(&g).is_empty(), "a does not depend on b");
+    }
+
+    #[test]
+    fn method_calls_resolve_to_owned_fns_only() {
+        let files = vec![
+            parse_file(
+                "crates/a/src/lib.rs",
+                "pub fn go(x: &T) { x.run(); }\npub fn run() {}\n",
+            ),
+            parse_file("crates/a/src/t.rs", "impl T { pub fn run(&self) {} }\n"),
+        ];
+        let g = build(&files, &Deps::default());
+        let pairs = edge_pairs(&g);
+        assert_eq!(pairs, vec![("go".into(), "T::run".into())], "{pairs:?}");
+    }
+
+    #[test]
+    fn test_fns_are_excluded_from_the_graph() {
+        let files = vec![parse_file(
+            "crates/a/src/lib.rs",
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { super::live(); }\n}\n",
+        )];
+        let g = build(&files, &Deps::default());
+        assert_eq!(g.nodes.len(), 1);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn serialization_is_byte_stable_and_order_independent() {
+        let mut files = two_file_fixture();
+        let g1 = build(&files, &Deps::default());
+        files.reverse();
+        let g2 = build(&files, &Deps::default());
+        assert_eq!(render_text(&g1), render_text(&g2));
+        assert_eq!(render_json(&g1), render_json(&g2));
+        assert!(render_text(&g1).starts_with("caplint-graph v1\n"));
+    }
+
+    #[test]
+    fn transitive_deps_close_over_intermediates() {
+        let deps = Deps::from_manifests(&[
+            (
+                "crates/a/Cargo.toml".into(),
+                "cap-b.workspace = true\n".into(),
+            ),
+            (
+                "crates/b/Cargo.toml".into(),
+                "cap-c.workspace = true\n".into(),
+            ),
+            ("crates/c/Cargo.toml".into(), "".into()),
+        ]);
+        assert!(deps.allows("a", "b"));
+        assert!(deps.allows("a", "c"), "transitive");
+        assert!(!deps.allows("c", "a"));
+        assert!(deps.allows("zzz", "a"), "unknown crates are permissive");
+    }
+}

@@ -26,7 +26,10 @@
 
 pub mod allow;
 pub mod fix;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
+pub mod reach;
 pub mod rules;
 pub mod walk;
 
@@ -58,6 +61,11 @@ pub struct Outcome {
     pub suppressed: usize,
     /// Number of files scanned.
     pub files_checked: usize,
+    /// Number of `fn` nodes in the workspace call graph (0 when only
+    /// [`apply_baseline`] ran without a graph pass).
+    pub graph_fns: usize,
+    /// Number of call edges in the workspace call graph.
+    pub graph_edges: usize,
 }
 
 impl Outcome {
@@ -84,17 +92,56 @@ pub fn check_workspace(root: &Path, allow: &[AllowEntry]) -> Result<Outcome, Str
     let entries = walk::walk(root).map_err(|e| format!("walk {}: {e}", root.display()))?;
     let mut raw: Vec<Violation> = Vec::new();
     let mut files_checked = 0usize;
+    let mut parsed: Vec<parse::ParsedFile> = Vec::new();
+    let mut manifests: Vec<(String, String)> = Vec::new();
     for entry in &entries {
         let src =
             std::fs::read_to_string(&entry.abs).map_err(|e| format!("read {}: {e}", entry.rel))?;
         files_checked += 1;
         if entry.manifest {
             raw.extend(rules::check_manifest(&entry.rel, &src));
+            manifests.push((entry.rel.clone(), src));
         } else {
             raw.extend(rules::check_rust(&entry.rel, &src));
+            // The graph only carries shipping code: whole-file test
+            // paths contribute no nodes (cfg(test) regions are dropped
+            // per-fn at build time).
+            if !rules::is_test_path(&entry.rel) {
+                parsed.push(parse::parse_file(&entry.rel, &src));
+            }
         }
     }
-    Ok(apply_baseline(raw, allow, files_checked))
+    let deps = graph::Deps::from_manifests(&manifests);
+    let g = graph::build(&parsed, &deps);
+    raw.extend(reach::check_graph(&parsed, &g, &deps));
+    let mut outcome = apply_baseline(raw, allow, files_checked);
+    outcome.graph_fns = g.nodes.len();
+    outcome.graph_edges = g.edges.len();
+    Ok(outcome)
+}
+
+/// Parses the workspace and builds the call graph without running any
+/// rules — the engine behind `caplint graph`.
+///
+/// # Errors
+///
+/// Returns a formatted message when the tree cannot be walked or a
+/// file cannot be read.
+pub fn load_graph(root: &Path) -> Result<graph::Graph, String> {
+    let entries = walk::walk(root).map_err(|e| format!("walk {}: {e}", root.display()))?;
+    let mut parsed: Vec<parse::ParsedFile> = Vec::new();
+    let mut manifests: Vec<(String, String)> = Vec::new();
+    for entry in &entries {
+        let src =
+            std::fs::read_to_string(&entry.abs).map_err(|e| format!("read {}: {e}", entry.rel))?;
+        if entry.manifest {
+            manifests.push((entry.rel.clone(), src));
+        } else if !rules::is_test_path(&entry.rel) {
+            parsed.push(parse::parse_file(&entry.rel, &src));
+        }
+    }
+    let deps = graph::Deps::from_manifests(&manifests);
+    Ok(graph::build(&parsed, &deps))
 }
 
 /// Applies baseline count semantics to raw findings.
@@ -165,8 +212,10 @@ pub fn render_human(o: &Outcome) -> String {
         ));
     }
     s.push_str(&format!(
-        "caplint: {} file(s) checked, {} violation(s), {} suppressed by baseline, {} stale baseline entr{}\n",
+        "caplint: {} file(s) checked, graph {} fn(s) / {} edge(s), {} violation(s), {} suppressed by baseline, {} stale baseline entr{}\n",
         o.files_checked,
+        o.graph_fns,
+        o.graph_edges,
         o.violations.len(),
         o.suppressed,
         o.stale.len(),
@@ -184,6 +233,10 @@ fn short(rule: RuleId) -> &'static str {
         RuleId::R005 => "panic path in hot-path crate",
         RuleId::R006 => "undocumented unsafe",
         RuleId::R007 => "non-workspace dependency",
+        RuleId::R008 => "impure sink reachable from kernel",
+        RuleId::R009 => "rename without fsync evidence",
+        RuleId::R010 => "order-sensitive parallel float fold",
+        RuleId::R011 => "unsafe outside its designated homes",
     }
 }
 
@@ -192,6 +245,8 @@ pub fn render_json(o: &Outcome) -> String {
     let mut s = String::from("{");
     s.push_str(&format!("\"ok\":{},", o.exit_code() == 0));
     s.push_str(&format!("\"files_checked\":{},", o.files_checked));
+    s.push_str(&format!("\"graph_fns\":{},", o.graph_fns));
+    s.push_str(&format!("\"graph_edges\":{},", o.graph_edges));
     s.push_str(&format!("\"suppressed\":{},", o.suppressed));
     s.push_str("\"violations\":[");
     for (i, v) in o.violations.iter().enumerate() {
@@ -228,7 +283,7 @@ pub fn render_json(o: &Outcome) -> String {
 }
 
 /// Escapes a string for embedding in JSON output.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -255,7 +310,10 @@ pub fn render_rule_list() -> String {
          `RULE path count justification`; runs fail on new violations (count\n\
          exceeded) and on stale entries (count no longer reached).\n\
          Exemptions: vendor/ sources, tests/ benches/ examples/ dirs and\n\
-         #[cfg(test)]/#[test] regions (R006 applies to test code too).\n",
+         #[cfg(test)]/#[test] regions (R006 applies to test code too).\n\
+         Graph rules: R008-R010 run on the approximate workspace call graph\n\
+         (`caplint graph` prints it); crates/obs and crates/par are the\n\
+         designated homes for clock/thread machinery and are not traversed.\n",
     );
     s
 }

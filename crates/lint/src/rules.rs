@@ -23,11 +23,19 @@ pub enum RuleId {
     R006,
     /// Only workspace-internal and `vendor/` dependencies.
     R007,
+    /// No clock/thread/raw-fs sink reachable from a kernel entry point.
+    R008,
+    /// `fs::rename` only with reachable fsync/atomic_write evidence.
+    R009,
+    /// No order-sensitive float `+=` folds over parallel results.
+    R010,
+    /// `unsafe` only in `simd.rs` or `crates/par`, even with SAFETY.
+    R011,
 }
 
 impl RuleId {
     /// All rules, in order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::R001,
         RuleId::R002,
         RuleId::R003,
@@ -35,6 +43,10 @@ impl RuleId {
         RuleId::R005,
         RuleId::R006,
         RuleId::R007,
+        RuleId::R008,
+        RuleId::R009,
+        RuleId::R010,
+        RuleId::R011,
     ];
 
     /// The stable `Rnnn` code.
@@ -47,6 +59,10 @@ impl RuleId {
             RuleId::R005 => "R005",
             RuleId::R006 => "R006",
             RuleId::R007 => "R007",
+            RuleId::R008 => "R008",
+            RuleId::R009 => "R009",
+            RuleId::R010 => "R010",
+            RuleId::R011 => "R011",
         }
     }
 
@@ -60,6 +76,10 @@ impl RuleId {
             RuleId::R005 => "panic-in-hot-path",
             RuleId::R006 => "undocumented-unsafe",
             RuleId::R007 => "external-dependency",
+            RuleId::R008 => "kernel-reaches-impurity",
+            RuleId::R009 => "rename-without-fsync",
+            RuleId::R010 => "order-sensitive-reduction",
+            RuleId::R011 => "unsafe-outside-simd",
         }
     }
 
@@ -94,6 +114,27 @@ impl RuleId {
             RuleId::R007 => {
                 "Cargo.toml dependencies must be workspace crates or vendor/ paths \
                  (workspace = true / path = ...); no crates.io, git, or version deps"
+            }
+            RuleId::R008 => {
+                "no wall-clock read, raw std::thread call, or raw std::fs mutation may \
+                 be reachable through the call graph from a tensor/nn/scoring kernel \
+                 entry point (matmul*, im2col/col2im, conv forward/backward, \
+                 evaluate_scores*); crates/obs and crates/par are the audited homes"
+            }
+            RuleId::R009 => {
+                "a fn calling fs::rename must show durability evidence (sync_all/\
+                 sync_data/atomic_write/append_durable) in its body or a reachable \
+                 callee — renaming an unsynced file is not crash-durable"
+            }
+            RuleId::R010 => {
+                "float `+=` folds over parallel_map/run_tasks results depend on thread \
+                 count unless routed through a fixed-order tree/wave reduction \
+                 (tree_reduce*); bit-identical replay at any CAP_THREADS forbids them"
+            }
+            RuleId::R011 => {
+                "unsafe is confined to simd.rs and crates/par even with a SAFETY \
+                 comment; anywhere else it must be explicitly baselined in \
+                 caplint.allow with a justification"
             }
         }
     }
@@ -231,21 +272,36 @@ pub fn check_rust(path: &str, src: &str) -> Vec<Violation> {
     }
 
     // R006 applies everywhere, including test code: an undocumented
-    // unsafe block is equally suspect in a test.
+    // unsafe block is equally suspect in a test. R011 additionally
+    // confines (even documented) unsafe to its designated homes —
+    // `simd.rs` and the pool crate — in shipping code.
+    let r011_applies = !path.ends_with("simd.rs") && !path.starts_with("crates/par/src/");
     for (idx, line) in masked.code.iter().enumerate() {
         let Some(pos) = find_word(line, "unsafe") else {
             continue;
         };
+        let col = char_col(line, pos);
+        let snippet = raw_lines.get(idx).copied().unwrap_or("").to_string();
         if !has_safety_comment(&masked.comments, idx) {
-            let col = char_col(line, pos);
             out.push(Violation {
                 rule: RuleId::R006,
                 path: path.to_string(),
                 line: idx + 1,
                 col,
                 end_col: col + "unsafe".len(),
-                snippet: raw_lines.get(idx).copied().unwrap_or("").to_string(),
+                snippet: snippet.clone(),
                 what: "`unsafe` without `// SAFETY:`".to_string(),
+            });
+        }
+        if r011_applies && !whole_file_test && !masked.test[idx] {
+            out.push(Violation {
+                rule: RuleId::R011,
+                path: path.to_string(),
+                line: idx + 1,
+                col,
+                end_col: col + "unsafe".len(),
+                snippet,
+                what: "`unsafe` outside simd.rs / crates/par".to_string(),
             });
         }
     }

@@ -1,0 +1,6 @@
+// The obs home reads the clock by design; R008 neither scans nor
+// traverses through it.
+pub fn enter_span(n: usize) -> usize {
+    let t = std::time::Instant::now();
+    n ^ t.elapsed().subsec_nanos() as usize
+}

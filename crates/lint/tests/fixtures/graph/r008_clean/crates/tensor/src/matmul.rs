@@ -1,0 +1,11 @@
+// R008 fixture (clean): the same call shape, but the helper is pure
+// and the only clock read sits inside the obs home, which kernels are
+// explicitly allowed to be instrumented by.
+use crate::util::prefetch_hint;
+use cap_obs::span::enter_span;
+
+pub fn matmul_tiled(n: usize) -> f32 {
+    let _guard = enter_span(n);
+    let warm = prefetch_hint(n);
+    warm as f32
+}

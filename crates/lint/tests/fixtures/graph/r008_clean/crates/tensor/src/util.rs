@@ -1,0 +1,3 @@
+pub fn prefetch_hint(n: usize) -> usize {
+    n.wrapping_mul(31)
+}

@@ -1,0 +1,10 @@
+// R008 fixture: the kernel itself is spotless per-file — the stall
+// hides two hops away, behind a call into another module. The
+// per-line scanner must stay silent on every file in this tree
+// (asserted by the harness); only reachability can catch it.
+use crate::util::prefetch_hint;
+
+pub fn matmul_tiled(n: usize) -> f32 { //~ R008
+    let warm = prefetch_hint(n);
+    warm as f32
+}

@@ -1,0 +1,11 @@
+// Middle hop: clean in isolation, but it forwards into `pace`, whose
+// `thread::sleep` is not an R001 needle (R001 only bans spawn
+// routes), so no per-file rule can see the problem from here either.
+pub fn prefetch_hint(n: usize) -> usize {
+    pace();
+    n
+}
+
+fn pace() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

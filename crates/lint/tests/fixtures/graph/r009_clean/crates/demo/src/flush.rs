@@ -1,0 +1,5 @@
+use std::fs::File;
+
+pub fn flush_durably(f: &File) -> std::io::Result<()> {
+    f.sync_all()
+}

@@ -1,0 +1,20 @@
+// R009 fixture (clean): three blessed shapes — fsync in the fn body,
+// fsync in a reachable callee (cross-file), and routing through
+// fsx::atomic_write.
+use crate::flush::flush_durably;
+use std::fs::File;
+use std::path::Path;
+
+pub fn swap_in_local(f: &File, tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    f.sync_all()?;
+    std::fs::rename(tmp, dst)
+}
+
+pub fn swap_in_via_helper(f: &File, tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    flush_durably(f)?;
+    std::fs::rename(tmp, dst)
+}
+
+pub fn publish_atomic(dst: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    cap_obs::fsx::atomic_write(dst, bytes)
+}

@@ -1,0 +1,14 @@
+// R009 fixture: tmp-then-rename with no fsync anywhere on the path.
+// After power loss the rename can survive while the data does not.
+// `fs::rename` is not an R002 needle, so the per-file scanner is
+// silent here (asserted by the harness).
+use std::path::Path;
+
+pub fn swap_in(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    write_payload(tmp)?;
+    std::fs::rename(tmp, dst) //~ R009
+}
+
+fn write_payload(_tmp: &Path) -> std::io::Result<()> {
+    Ok(())
+}

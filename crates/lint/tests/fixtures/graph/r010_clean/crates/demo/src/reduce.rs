@@ -1,0 +1,52 @@
+// R010 fixture (clean): the shapes the rule must NOT flag.
+pub fn count_correct(n: usize) -> usize {
+    let partials = cap_par::parallel_map(n, |i| i % 2);
+    // Integer folds are exact in any order.
+    let mut correct = 0usize;
+    for p in partials {
+        correct += p;
+    }
+    correct
+}
+
+pub fn tree_reduced(n: usize) -> f64 {
+    let partials = cap_par::parallel_map(n, |i| i as f64);
+    // Routing through the fixed-order tree blesses the fn.
+    let folded = tree_reduce_pairs(partials);
+    let mut acc = 0.0f64;
+    for p in folded {
+        acc += p;
+    }
+    acc
+}
+
+pub fn closure_local_accumulation(n: usize) -> f64 {
+    // `+=` inside the parallel closure is per-task-deterministic.
+    let partials = cap_par::parallel_map(n, |i| {
+        let mut local = 0.0f64;
+        local += i as f64;
+        local
+    });
+    partials.len() as f64
+}
+
+pub fn accumulate_before_the_call(xs: &[f64]) -> f64 {
+    // Serial `+=` before any parallel work is fixed-order already.
+    let mut tau = 0.0f64;
+    for x in xs {
+        tau += x;
+    }
+    let _partials = cap_par::parallel_map(4, move |i| i as f64 + tau);
+    tau
+}
+
+fn tree_reduce_pairs(mut v: Vec<f64>) -> Vec<f64> {
+    while v.len() > 1 {
+        let mut next = Vec::with_capacity(v.len().div_ceil(2));
+        for pair in v.chunks(2) {
+            next.push(pair.iter().copied().sum());
+        }
+        v = next;
+    }
+    v
+}

@@ -1,0 +1,14 @@
+// R010 fixture: a float `+=` fold over parallel_map results. The
+// pool hands partials back index-ordered, but folding them with `+=`
+// still bakes the *chunking* into the sum whenever the chunk count
+// tracks CAP_THREADS — and this shape is one refactor away from
+// exactly that. The workspace's blessed shapes are tree_reduce_pairs
+// and the bounded ascending-wave loop.
+pub fn score_sum(n: usize) -> f64 {
+    let partials = cap_par::parallel_map(n, |i| i as f64 * 0.5);
+    let mut acc = 0.0f64;
+    for p in partials {
+        acc += p; //~ R010
+    }
+    acc
+}

@@ -1,0 +1,19 @@
+// R011 fixture (clean): no unsafe in shipping code; test-region
+// unsafe is exempt from confinement (R006 still polices it there, so
+// it keeps its SAFETY comment), and the `unsafe_code` attribute token
+// is not the keyword.
+#![forbid(unsafe_code)]
+
+pub fn safe_code(x: u8) -> u8 {
+    x.wrapping_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_region_unsafe_is_not_confined() {
+        let x = 7u8;
+        // SAFETY: `x` is a live local; the raw-pointer read is valid.
+        let _ = unsafe { *(&x as *const u8) };
+    }
+}

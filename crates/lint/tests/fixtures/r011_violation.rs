@@ -1,0 +1,13 @@
+// R011 fixture: even SAFETY-documented unsafe is confined to simd.rs
+// and crates/par — anywhere else it needs a baseline entry. Every
+// unsafe here carries a SAFETY comment so R006 stays quiet and the
+// markers isolate R011.
+pub fn documented_but_homeless(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p } //~ R011 @5..11
+}
+
+pub fn also_homeless() {
+    // SAFETY: zero-sized type, the transmute cannot observe any bytes.
+    unsafe { std::mem::transmute::<(), ()>(()) } //~ R011 @5..11
+}

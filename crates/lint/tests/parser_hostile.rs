@@ -1,0 +1,166 @@
+//! Hostile-input properties of the item parser and graph builder:
+//! arbitrary byte soup, truncated real source, and adversarial token
+//! fragments must never panic, and the serialized graph must be
+//! byte-stable across repeated builds from the same input.
+//!
+//! caplint runs on whatever happens to be on disk — half-written
+//! files, merge-conflict markers, non-UTF8 garbage — so `parse_file`
+//! and `graph::build` are total functions by contract. These
+//! properties pin that contract the same way `tsdb_hostile` pins the
+//! series-store decoder.
+
+use cap_lint::graph::{build, render_json, render_text, Deps};
+use cap_lint::parse::{parse_file, ParsedFile};
+use cap_lint::reach::check_graph;
+use proptest::prelude::*;
+
+/// Real workspace source, so truncation points land inside genuine
+/// item boundaries (mid-`impl`, mid-use-tree, mid-generic-list).
+const REAL_SOURCES: &[(&str, &str)] = &[
+    ("crates/lint/src/parse.rs", include_str!("../src/parse.rs")),
+    ("crates/lint/src/graph.rs", include_str!("../src/graph.rs")),
+    ("crates/lint/src/reach.rs", include_str!("../src/reach.rs")),
+];
+
+/// Runs the full pipeline — parse, build, check — and returns both
+/// renderings so callers can assert stability.
+fn pipeline(files: &[(String, String)]) -> (String, String) {
+    let parsed: Vec<ParsedFile> = files
+        .iter()
+        .map(|(rel, src)| parse_file(rel, src))
+        .collect();
+    let deps = Deps::default();
+    let graph = build(&parsed, &deps);
+    let _ = check_graph(&parsed, &graph, &deps);
+    (render_text(&graph), render_json(&graph))
+}
+
+/// Fragments that stress the parser's scope/angle/turbofish tracking
+/// when spliced together in arbitrary orders.
+const FRAGMENTS: &[&str] = &[
+    "fn ",
+    "impl ",
+    "mod ",
+    "use ",
+    "pub ",
+    "unsafe ",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "::",
+    "::<",
+    ",",
+    ";",
+    "*",
+    "x",
+    "Self",
+    "self",
+    "crate",
+    "as y",
+    "for T",
+    "where T:",
+    "'a",
+    "\"str",
+    "// line",
+    "/* block",
+    "#[cfg(test)]",
+    "r#\"raw",
+    "\u{0}",
+    "é",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Arbitrary byte soup (lossily decoded, as the walker does for
+    /// non-UTF8 files) never panics the parser or the graph builder.
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let files = vec![("crates/demo/src/soup.rs".to_string(), src)];
+        let _ = pipeline(&files);
+    }
+
+    /// Keyword/punct fragments glued in arbitrary order: worst case
+    /// for the scope stack and the use-tree expander.
+    #[test]
+    fn token_fragments_never_panic(
+        picks in proptest::collection::vec(0usize..FRAGMENTS.len(), 0..64)
+    ) {
+        let src: String = picks.iter().map(|&i| FRAGMENTS[i]).collect();
+        let files = vec![("crates/demo/src/frags.rs".to_string(), src)];
+        let _ = pipeline(&files);
+    }
+
+    /// Truncating real source at any char boundary never panics: this
+    /// is exactly the half-written-file-during-save case.
+    #[test]
+    fn truncated_real_source_never_panics(
+        which in 0usize..REAL_SOURCES.len(),
+        cut in 0usize..=100usize,
+    ) {
+        let (rel, full) = REAL_SOURCES[which];
+        let target = full.len() * cut / 100;
+        let mut end = target.min(full.len());
+        while !full.is_char_boundary(end) {
+            end -= 1;
+        }
+        let files = vec![(rel.to_string(), full[..end].to_string())];
+        let _ = pipeline(&files);
+    }
+
+    /// The serialized graph is byte-stable: building twice from the
+    /// same input yields identical text and JSON renderings, even for
+    /// garbage input. (Order-independence across input permutations is
+    /// covered by `graph_rules::graph_serialization_is_stable_*`.)
+    #[test]
+    fn graph_output_is_byte_stable(
+        bytes in proptest::collection::vec(0u8..=255, 0..384),
+        which in 0usize..REAL_SOURCES.len(),
+    ) {
+        let soup = String::from_utf8_lossy(&bytes).into_owned();
+        let (rel, real) = REAL_SOURCES[which];
+        let files = vec![
+            ("crates/demo/src/soup.rs".to_string(), soup),
+            (rel.to_string(), real.to_string()),
+        ];
+        let first = pipeline(&files);
+        let second = pipeline(&files);
+        prop_assert_eq!(first, second);
+    }
+}
+
+/// Deterministic edge cases that deserve a name: empty input, a lone
+/// BOM, unbalanced closers, and a use-tree nested past MAX_USE_DEPTH.
+#[test]
+fn named_hostile_inputs_never_panic() {
+    let deep_use = {
+        let mut s = String::from("use a::");
+        for _ in 0..64 {
+            s.push_str("{b::");
+        }
+        s.push('c');
+        for _ in 0..64 {
+            s.push('}');
+        }
+        s.push(';');
+        s
+    };
+    let cases: Vec<String> = vec![
+        String::new(),
+        "\u{feff}".to_string(),
+        "}}}}))>>>".to_string(),
+        "fn".to_string(),
+        "fn f".to_string(),
+        "impl<T".to_string(),
+        "fn f() { g::<".to_string(),
+        deep_use,
+    ];
+    for (i, src) in cases.into_iter().enumerate() {
+        let files = vec![(format!("crates/demo/src/case{i}.rs"), src)];
+        let _ = pipeline(&files);
+    }
+}

@@ -26,4 +26,37 @@ fn caplint_is_clean_on_this_workspace() {
         "baseline has grown to {} entries — pay down the debt",
         allow.len()
     );
+    // The graph rules must actually have run: the clean verdict above
+    // is meaningless if the call graph silently came back empty.
+    assert!(
+        outcome.graph_fns > 500 && outcome.graph_edges > 1000,
+        "workspace call graph is implausibly small: {} fns / {} edges",
+        outcome.graph_fns,
+        outcome.graph_edges
+    );
+    // R008-R011 are active rules, not future work.
+    assert_eq!(cap_lint::rules::RuleId::ALL.len(), 11);
+    for code in ["R008", "R009", "R010", "R011"] {
+        assert!(
+            cap_lint::render_rule_list().contains(code),
+            "{code} missing from --list-rules"
+        );
+    }
+    // The R008 entry points exist in the graph — if a kernel is
+    // renamed, this gate must force the entry-point list to follow.
+    let graph = cap_lint::load_graph(&root).expect("load graph");
+    for (path, name) in [
+        ("crates/tensor/src/matmul.rs", "matmul"),
+        ("crates/tensor/src/conv.rs", "im2col"),
+        ("crates/nn/src/layer/conv.rs", "forward"),
+        ("crates/core/src/score.rs", "evaluate_scores"),
+    ] {
+        assert!(
+            graph
+                .nodes
+                .iter()
+                .any(|n| n.path == path && n.name.starts_with(name)),
+            "R008 entry point {path}::{name}* not found in the graph"
+        );
+    }
 }
